@@ -1,0 +1,388 @@
+// Benchmarks backing the experiment series of EXPERIMENTS.md (B1-B5). The
+// paper reports no quantitative tables, so these benches characterise the
+// architecture's claims: the two-level organisation's scalability (B1), the
+// colocated-vs-IIOP invocation split (B2), wire costs (B3), data-layer
+// engine costs (B4), and metadata-vs-data query costs on the healthcare
+// world (B5).
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/giop"
+	"repro/internal/idl"
+	"repro/internal/medworld"
+	"repro/internal/oodb"
+	"repro/internal/orb"
+	"repro/internal/relational"
+	"repro/internal/wtl"
+)
+
+// ---- B3: wire costs ----
+
+func benchPayload() idl.Any {
+	return idl.Struct(
+		idl.F("name", idl.String("Royal Brisbane Hospital")),
+		idl.F("beds", idl.Long(850)),
+		idl.F("types", idl.Strings([]string{"ResearchProjects", "PatientHistory", "MedicalStudents"})),
+	)
+}
+
+func BenchmarkCDREncode(b *testing.B) {
+	payload := benchPayload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := cdr.NewEncoder(cdr.BigEndian)
+		payload.Marshal(e)
+	}
+}
+
+func BenchmarkCDRDecode(b *testing.B) {
+	payload := benchPayload()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	payload.Marshal(e)
+	buf := e.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := idl.UnmarshalAny(cdr.NewDecoder(buf, cdr.BigEndian)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGIOPRoundTrip(b *testing.B) {
+	e := giop.NewBodyEncoder(cdr.BigEndian)
+	(&giop.RequestHeader{
+		RequestID: 1, ResponseExpected: true,
+		ObjectKey: []byte("CoDatabase/RBH"), Operation: "find_coalitions",
+	}).Marshal(e)
+	benchPayload().Marshal(e)
+	msg := &giop.Message{Type: giop.MsgRequest, Order: cdr.BigEndian, Body: e.Bytes()}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := giop.Write(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := giop.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- B2: colocated vs IIOP invocation ----
+
+func newEchoORB(b *testing.B, disableColocation bool) (*orb.ORB, *orb.ObjectRef) {
+	b.Helper()
+	o := orb.New(orb.Options{Product: orb.Orbix, DisableColocation: disableColocation})
+	if err := o.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(o.Shutdown)
+	iface := idl.MustParse("interface Echo { string echo(in string s); };")[0]
+	h := orb.NewHandler(iface).On("echo", func(args []idl.Any) (idl.Any, error) {
+		return args[0], nil
+	})
+	ior, err := o.Activate("Echo", h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o, o.Resolve(ior)
+}
+
+func BenchmarkInvokeColocated(b *testing.B) {
+	_, ref := newEchoORB(b, false)
+	arg := idl.String("ping")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.Invoke("echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvokeIIOP(b *testing.B) {
+	_, ref := newEchoORB(b, true)
+	arg := idl.String("ping")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.Invoke("echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- B4: data-layer engine costs ----
+
+func benchSQLDB(b *testing.B, rows int) *relational.Database {
+	b.Helper()
+	db := relational.NewDatabase("bench", relational.DialectOracle)
+	if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(32), grp INT)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE g (grp INT PRIMARY KEY, label VARCHAR(16))"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'row-%d', %d)", i, i, i%10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for g := 0; g < 10; g++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO g VALUES (%d, 'g%d')", g, g)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkSQLInsert(b *testing.B) {
+	db := relational.NewDatabase("bench", relational.DialectOracle)
+	if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(32))"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'row')", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLPointSelect(b *testing.B) {
+	db := benchSQLDB(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT name FROM t WHERE id = 2500"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLScanFilter(b *testing.B) {
+	db := benchSQLDB(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT COUNT(*) FROM t WHERE grp = 3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLHashJoin(b *testing.B) {
+	db := benchSQLDB(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT COUNT(*) FROM t JOIN g ON t.grp = g.grp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLGroupBy(b *testing.B) {
+	db := benchSQLDB(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT grp, COUNT(*), AVG(id) FROM t GROUP BY grp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOODBExtentFilter(b *testing.B) {
+	db := oodb.NewDB("bench")
+	if _, err := db.DefineClass("C", "", oodb.Attribute{Name: "n", Type: oodb.AttrInt}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, err := db.NewObject("C", map[string]any{"n": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := oodb.Query(db, "SELECT n FROM C WHERE n >= 4990"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Parsers ----
+
+func BenchmarkSQLParse(b *testing.B) {
+	const q = "SELECT a.funding, COUNT(*) FROM research_projects a JOIN x ON a.id = x.id WHERE a.title = 'AIDS and drugs' AND a.funding > 100 GROUP BY a.funding ORDER BY 1 LIMIT 10"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := relational.ParseSQL(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWTLParse(b *testing.B) {
+	const q = `Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs")) On Royal Brisbane Hospital;`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wtl.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- B5: metadata vs data queries on the Medical World ----
+
+var (
+	benchWorldOnce sync.Once
+	benchWorld     *medworld.World
+	benchWorldErr  error
+)
+
+func getBenchWorld(b *testing.B) *medworld.World {
+	b.Helper()
+	benchWorldOnce.Do(func() {
+		benchWorld, benchWorldErr = medworld.Build()
+	})
+	if benchWorldErr != nil {
+		b.Fatal(benchWorldErr)
+	}
+	return benchWorld
+}
+
+func BenchmarkMetaQuery(b *testing.B) {
+	w := getBenchWorld(b)
+	qut, _ := w.Node(medworld.QUT)
+	s := qut.NewSession()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Execute("Find Coalitions With Information Medical Research;"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDataQuery(b *testing.B) {
+	w := getBenchWorld(b)
+	qut, _ := w.Node(medworld.QUT)
+	s := qut.NewSession()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Execute(`Query Royal Brisbane Hospital Using Native "select * from medical_students";`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDataQueryIIOP(b *testing.B) {
+	w := getBenchWorld(b)
+	rbh, _ := w.Node(medworld.RBH)
+	client := orb.New(orb.Options{Product: orb.OrbixWeb, DisableColocation: true})
+	b.Cleanup(client.Shutdown)
+	ref, err := client.ResolveString(rbh.Descriptor.ISIRef)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn := gateway.NewRemoteConn(ref)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Query("select * from medical_students"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- B1: resolution latency vs federation size, two-level vs flat ----
+
+func buildScaleFed(b *testing.B, n int, flat bool) (*core.Federation, *core.Node) {
+	b.Helper()
+	f, err := core.NewFederation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(f.Shutdown)
+	const coalitionSize = 8
+	names := make([]string, n)
+	products := []orb.Product{orb.Orbix, orb.OrbixWeb, orb.VisiBroker}
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("db-%04d", i)
+		if _, err := f.AddNode(products[i%3], core.NodeConfig{
+			Name:            names[i],
+			Engine:          core.EngineMSQL,
+			InformationType: fmt.Sprintf("topic-%d records", i/coalitionSize),
+			Schema:          "CREATE TABLE t (a INT);",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if flat {
+		if err := f.DefineCoalition("Everything", "", "all records", names...); err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		for start := 0; start < n; start += coalitionSize {
+			end := start + coalitionSize
+			if end > n {
+				end = n
+			}
+			if err := f.DefineCoalition(fmt.Sprintf("Topic-%d", start/coalitionSize), "",
+				fmt.Sprintf("topic-%d records", start/coalitionSize), names[start:end]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	home, _ := f.Node(names[0])
+	return f, home
+}
+
+func benchResolution(b *testing.B, n int, flat bool) {
+	_, home := buildScaleFed(b, n, flat)
+	s := home.NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Execute("Find Coalitions With Information topic-0 records;"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolutionScaleTwoLevel(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchResolution(b, n, false) })
+	}
+}
+
+func BenchmarkResolutionScaleFlat(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchResolution(b, n, true) })
+	}
+}
+
+// BenchmarkWorldBuild measures the cost of assembling the full healthcare
+// federation (28 databases, 3 ORBs, all wiring).
+func BenchmarkWorldBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := medworld.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Shutdown()
+	}
+}

@@ -1,0 +1,540 @@
+// Command experiments regenerates every figure-level artefact of the paper
+// (Figures 1-6, the §2.3 walkthroughs) and measures the shape-level
+// performance series recorded in EXPERIMENTS.md (B1-B5). The paper reports
+// no quantitative tables, so the B-series are this reproduction's
+// characterisation of the architecture's claims: scalable two-level
+// organisation, colocated vs socket invocation, wire costs, engine costs,
+// and metadata-vs-data query costs.
+//
+//	experiments             # run everything
+//	experiments -exp fig1   # one experiment: fig1..fig6, q1, q2, b1..b5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/codb"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/idl"
+	"repro/internal/medworld"
+	"repro/internal/oodb"
+	"repro/internal/orb"
+	"repro/internal/relational"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "all", "experiment id: fig1..fig6, q1, q2, b1..b5, all")
+	flag.Parse()
+
+	experiments := []struct {
+		id  string
+		fn  func() error
+		hdr string
+	}{
+		{"fig1", fig1, "FIG1: coalitions and service links in the Medical World (Figure 1)"},
+		{"fig2", fig2, "FIG2: implementation map — 3 ORBs, 5 engines, 28 databases, IIOP (Figure 2)"},
+		{"fig3", fig3, "FIG3: four-layer query trace (Figure 3)"},
+		{"fig4", fig4, "FIG4: Display Documentation of RBH (Figure 4)"},
+		{"fig5", fig5, "FIG5: the RBH HTML document (Figure 5)"},
+		{"fig6", fig6, "FIG6: select * from medical_students on RBH (Figure 6)"},
+		{"q1", q1, "Q1: the full §2.3 walkthrough"},
+		{"q2", q2, "Q2: Medical Insurance discovery via coalition peers"},
+		{"b1", b1, "B1: resolution latency vs federation size — two-level vs flat"},
+		{"b2", b2, "B2: colocated vs socket IIOP invocation latency"},
+		{"b3", b3, "B3: CDR / GIOP wire costs"},
+		{"b4", b4, "B4: data-layer engine costs per dialect"},
+		{"b5", b5, "B5: metadata vs data query cost on the Medical World"},
+	}
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		ran = true
+		fmt.Printf("\n===== %s =====\n", e.hdr)
+		if err := e.fn(); err != nil {
+			log.Fatalf("%s: %v", e.id, err)
+		}
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+// world caches the medical world across experiments in one run.
+var cachedWorld *medworld.World
+
+func getWorld() (*medworld.World, error) {
+	if cachedWorld != nil {
+		return cachedWorld, nil
+	}
+	w, err := medworld.Build()
+	if err != nil {
+		return nil, err
+	}
+	cachedWorld = w
+	return w, nil
+}
+
+func fig1() error {
+	w, err := getWorld()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("databases: %d (want 14)\n", len(w.NodeNames()))
+	fmt.Printf("coalitions: %d (want 5)\n", len(w.Coalitions()))
+	fmt.Printf("service links: %d (want 9)\n", len(w.Links()))
+	for _, c := range w.Coalitions() {
+		fmt.Printf("  coalition %-22s %v\n", c, w.Members(c))
+	}
+	for _, l := range w.Links() {
+		fmt.Printf("  link %-28s %s %q -> %s %q\n", l.Name, l.FromKind, l.From, l.ToKind, l.To)
+	}
+	return nil
+}
+
+func fig2() error {
+	w, err := getWorld()
+	if err != nil {
+		return err
+	}
+	byEngine := map[string][]string{}
+	for _, name := range medworld.DatabaseNames() {
+		engine, product, _ := medworld.Placement(name)
+		byEngine[engine] = append(byEngine[engine], fmt.Sprintf("%s (%s)", name, product))
+	}
+	engines := make([]string, 0, len(byEngine))
+	for e := range byEngine {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	for _, e := range engines {
+		fmt.Printf("  %-12s %s\n", e, strings.Join(byEngine[e], ", "))
+	}
+	// Cross-ORB reachability matrix over pure IIOP.
+	client := orb.New(orb.Options{Product: orb.OrbixWeb, DisableColocation: true})
+	defer client.Shutdown()
+	reachable := 0
+	for _, name := range medworld.DatabaseNames() {
+		n, _ := w.Node(name)
+		ref, err := client.ResolveString(n.Descriptor.ISIRef)
+		if err != nil {
+			return err
+		}
+		ok, err := ref.Locate()
+		if err != nil {
+			return err
+		}
+		if ok {
+			reachable++
+		}
+	}
+	fmt.Printf("ISIs reachable over IIOP from a foreign ORB: %d/14\n", reachable)
+	fmt.Printf("databases + co-databases: %d (want 28)\n", 2*len(w.NodeNames()))
+	return nil
+}
+
+func fig3() error {
+	w, err := getWorld()
+	if err != nil {
+		return err
+	}
+	qut, _ := w.Node(medworld.QUT)
+	s := qut.NewSession()
+	if _, err := s.Execute("Find Coalitions With Information Medical Research;"); err != nil {
+		return err
+	}
+	if _, err := s.Execute(`Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs")) On Royal Brisbane Hospital;`); err != nil {
+		return err
+	}
+	for _, line := range s.Trace() {
+		fmt.Println("  " + line)
+	}
+	return nil
+}
+
+func fig4() error {
+	w, err := getWorld()
+	if err != nil {
+		return err
+	}
+	qut, _ := w.Node(medworld.QUT)
+	s := qut.NewSession()
+	for _, stmt := range []string{
+		"Display Instances of Class Research;",
+		"Display Document of Instance Royal Brisbane Hospital Of Class Research;",
+	} {
+		resp, err := s.Execute(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wtl> %s\n%s\n", stmt, resp.Text)
+	}
+	return nil
+}
+
+func fig5() error {
+	w, err := getWorld()
+	if err != nil {
+		return err
+	}
+	rbh, _ := w.Node(medworld.RBH)
+	d, ok := rbh.CoDB.FindSource(medworld.RBH)
+	if !ok {
+		return fmt.Errorf("RBH descriptor missing")
+	}
+	fmt.Println(d.DocumentHTML)
+	return nil
+}
+
+func fig6() error {
+	w, err := getWorld()
+	if err != nil {
+		return err
+	}
+	qut, _ := w.Node(medworld.QUT)
+	s := qut.NewSession()
+	resp, err := s.Execute(`Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
+	if err != nil {
+		return err
+	}
+	fmt.Println(resp.Text)
+	return nil
+}
+
+func q1() error {
+	w, err := getWorld()
+	if err != nil {
+		return err
+	}
+	qut, _ := w.Node(medworld.QUT)
+	s := qut.NewSession()
+	for _, stmt := range []string{
+		"Find Coalitions With Information Medical Research;",
+		"Connect To Coalition Research;",
+		"Display SubClasses of Class Research;",
+		"Display Instances of Class Research;",
+		"Display Document of Instance Royal Brisbane Hospital Of Class Research;",
+		"Display Access Information of Instance Royal Brisbane Hospital;",
+		`Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs"));`,
+	} {
+		resp, err := s.Execute(stmt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", stmt, err)
+		}
+		fmt.Printf("wtl> %s\n%s\n\n", stmt, resp.Text)
+	}
+	return nil
+}
+
+func q2() error {
+	w, err := getWorld()
+	if err != nil {
+		return err
+	}
+	qut, _ := w.Node(medworld.QUT)
+	s := qut.NewSession()
+	for _, stmt := range []string{
+		`Find Coalitions With Information "Medical Insurance";`,
+		"Connect To Coalition Medical Insurance;",
+		"Display Instances of Class Medical Insurance;",
+	} {
+		resp, err := s.Execute(stmt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", stmt, err)
+		}
+		fmt.Printf("wtl> %s\n%s\n\n", stmt, resp.Text)
+	}
+	return nil
+}
+
+// ---- B-series measurements ----
+
+// measure runs fn n times and returns the per-iteration latency.
+func measure(n int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+// buildScaleFederation creates N minimal databases organised either as
+// K-member coalitions (two-level) or one global coalition (flat).
+func buildScaleFederation(n, coalitionSize int, flat bool) (*core.Federation, *core.Node, error) {
+	f, err := core.NewFederation()
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, n)
+	products := []orb.Product{orb.Orbix, orb.OrbixWeb, orb.VisiBroker}
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("db-%04d", i)
+		_, err := f.AddNode(products[i%3], core.NodeConfig{
+			Name:            names[i],
+			Engine:          core.EngineMSQL,
+			InformationType: fmt.Sprintf("topic-%d records", i/coalitionSize),
+			Schema:          "CREATE TABLE t (a INT);",
+		})
+		if err != nil {
+			f.Shutdown()
+			return nil, nil, err
+		}
+	}
+	if flat {
+		if err := f.DefineCoalition("Everything", "", "all records", names...); err != nil {
+			f.Shutdown()
+			return nil, nil, err
+		}
+	} else {
+		for start := 0; start < n; start += coalitionSize {
+			end := start + coalitionSize
+			if end > n {
+				end = n
+			}
+			cname := fmt.Sprintf("Topic-%d", start/coalitionSize)
+			if err := f.DefineCoalition(cname, "",
+				fmt.Sprintf("topic-%d records", start/coalitionSize), names[start:end]...); err != nil {
+				f.Shutdown()
+				return nil, nil, err
+			}
+		}
+	}
+	home, _ := f.Node(names[0])
+	return f, home, nil
+}
+
+func b1() error {
+	fmt.Println("resolution latency for `Find Coalitions With Information topic-0 records`")
+	fmt.Println("size   two-level(us)  flat(us)   ratio")
+	for _, n := range []int{16, 64, 256} {
+		var twoLevel, flatDur time.Duration
+		for _, flat := range []bool{false, true} {
+			f, home, err := buildScaleFederation(n, 8, flat)
+			if err != nil {
+				return err
+			}
+			s := home.NewSession()
+			d, err := measure(50, func() error {
+				_, err := s.Execute("Find Coalitions With Information topic-0 records;")
+				return err
+			})
+			f.Shutdown()
+			if err != nil {
+				return err
+			}
+			if flat {
+				flatDur = d
+			} else {
+				twoLevel = d
+			}
+		}
+		fmt.Printf("%-6d %-14.1f %-10.1f %.2fx\n", n,
+			float64(twoLevel.Microseconds()), float64(flatDur.Microseconds()),
+			float64(flatDur)/float64(twoLevel))
+	}
+	return nil
+}
+
+func b2() error {
+	mk := func(disable bool) (*orb.ORB, *orb.ObjectRef, error) {
+		o := orb.New(orb.Options{Product: orb.Orbix, DisableColocation: disable})
+		if err := o.Listen("127.0.0.1:0"); err != nil {
+			return nil, nil, err
+		}
+		iface := idl.MustParse("interface Echo { string echo(in string s); };")[0]
+		h := orb.NewHandler(iface).On("echo", func(args []idl.Any) (idl.Any, error) {
+			return args[0], nil
+		})
+		ior, err := o.Activate("Echo", h)
+		if err != nil {
+			o.Shutdown()
+			return nil, nil, err
+		}
+		return o, o.Resolve(ior), nil
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+		iters   int
+	}{{"colocated (in-process bridge)", false, 20000}, {"socket IIOP", true, 5000}} {
+		o, ref, err := mk(mode.disable)
+		if err != nil {
+			return err
+		}
+		d, err := measure(mode.iters, func() error {
+			_, err := ref.Invoke("echo", idl.String("ping"))
+			return err
+		})
+		o.Shutdown()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-32s %8.2f us/call\n", mode.name, float64(d.Nanoseconds())/1000)
+	}
+	return nil
+}
+
+func b3() error {
+	payload := idl.Struct(
+		idl.F("name", idl.String("Royal Brisbane Hospital")),
+		idl.F("beds", idl.Long(850)),
+		idl.F("types", idl.Strings([]string{"ResearchProjects", "PatientHistory", "MedicalStudents"})),
+	)
+	e := cdr.NewEncoder(cdr.BigEndian)
+	payload.Marshal(e)
+	size := e.Len()
+	encDur, err := measure(200000, func() error {
+		enc := cdr.NewEncoder(cdr.BigEndian)
+		payload.Marshal(enc)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	decDur, err := measure(200000, func() error {
+		_, err := idl.UnmarshalAny(cdr.NewDecoder(e.Bytes(), cdr.BigEndian))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("descriptor payload: %d bytes\n", size)
+	fmt.Printf("CDR encode: %.0f ns/op   decode: %.0f ns/op\n",
+		float64(encDur.Nanoseconds()), float64(decDur.Nanoseconds()))
+	return nil
+}
+
+func b4() error {
+	fmt.Println("engine       op                 us/op")
+	for _, dialect := range []relational.Dialect{relational.DialectOracle, relational.DialectMSQL} {
+		db := relational.NewDatabase("bench", dialect)
+		if _, err := db.Exec("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(32), grp INT)"); err != nil {
+			return err
+		}
+		for i := 0; i < 2000; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'row-%d', %d)", i, i, i%10)); err != nil {
+				return err
+			}
+		}
+		ops := []struct {
+			name string
+			sql  string
+		}{
+			{"point select (pk)", "SELECT name FROM t WHERE id = 1234"},
+			{"scan + filter", "SELECT COUNT(*) FROM t WHERE grp = 3"},
+		}
+		for _, op := range ops {
+			if err := dialect.Check(mustParse(op.sql)); err != nil {
+				fmt.Printf("%-12s %-18s (refused: %v)\n", dialect.Name, op.name, err)
+				continue
+			}
+			d, err := measure(2000, func() error {
+				_, err := db.Query(op.sql)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %-18s %8.1f\n", dialect.Name, op.name, float64(d.Microseconds()))
+		}
+	}
+	// OO extent scan.
+	odb := oodb.NewDB("bench")
+	if _, err := odb.DefineClass("C", "", oodb.Attribute{Name: "n", Type: oodb.AttrInt}); err != nil {
+		return err
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := odb.NewObject("C", map[string]any{"n": i}); err != nil {
+			return err
+		}
+	}
+	d, err := measure(2000, func() error {
+		_, _, err := oodb.Query(odb, "SELECT n FROM C WHERE n >= 1990")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-18s %8.1f\n", "ObjectStore", "extent + filter", float64(d.Microseconds()))
+	return nil
+}
+
+func b5() error {
+	w, err := getWorld()
+	if err != nil {
+		return err
+	}
+	qut, _ := w.Node(medworld.QUT)
+	rbh, _ := w.Node(medworld.RBH)
+	s := qut.NewSession()
+	meta, err := measure(500, func() error {
+		_, err := s.Execute("Find Coalitions With Information Medical Research;")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	full, err := measure(500, func() error {
+		_, err := s.Execute(`Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	// The bare ISI round trip, colocated vs forced-socket, isolating the
+	// IIOP premium the paper's deployment paid for remote sources.
+	coloRef, err := rbh.Config.ORB.ResolveString(rbh.Descriptor.ISIRef)
+	if err != nil {
+		return err
+	}
+	coloConn := gateway.NewRemoteConn(coloRef)
+	colocated, err := measure(2000, func() error {
+		_, err := coloConn.Query("select * from medical_students")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	client := orb.New(orb.Options{Product: orb.OrbixWeb, DisableColocation: true})
+	defer client.Shutdown()
+	ref, err := client.ResolveString(rbh.Descriptor.ISIRef)
+	if err != nil {
+		return err
+	}
+	conn := gateway.NewRemoteConn(ref)
+	remote, err := measure(2000, func() error {
+		_, err := conn.Query("select * from medical_students")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metadata query (Find Coalitions, full query layer): %8.1f us\n", float64(meta.Microseconds()))
+	fmt.Printf("data query (full query layer incl. lookup):        %8.1f us\n", float64(full.Microseconds()))
+	fmt.Printf("bare ISI query, colocated:                          %8.1f us\n", float64(colocated.Microseconds()))
+	fmt.Printf("bare ISI query, socket IIOP:                        %8.1f us\n", float64(remote.Microseconds()))
+	return nil
+}
+
+func mustParse(sql string) relational.Statement {
+	stmt, err := relational.ParseSQL(sql)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return stmt
+}
+
+var _ = codb.SourceDescriptor{}

@@ -1,0 +1,50 @@
+// Command medworld boots the paper's full healthcare testbed (Figures 1-2)
+// and serves the WebFINDIT browser UI for one of its nodes over HTTP. It is
+// the reproduction's equivalent of the deployed prototype of §4-5.
+//
+//	medworld -http 127.0.0.1:8080 -node "QUT Research"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/browser"
+	"repro/internal/medworld"
+	"repro/internal/orb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("medworld: ")
+	httpAddr := flag.String("http", "127.0.0.1:8080", "browser UI address")
+	nodeName := flag.String("node", medworld.QUT, "node whose browser to serve")
+	flag.Parse()
+
+	world, err := medworld.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Shutdown()
+
+	fmt.Println("Medical World is up:")
+	for _, p := range []orb.Product{orb.Orbix, orb.OrbixWeb, orb.VisiBroker} {
+		o := world.ORB(p)
+		fmt.Printf("  ORB %-10s at %s serving %d object(s)\n", p, o.Addr(), len(o.ActiveKeys()))
+	}
+	for _, c := range world.Coalitions() {
+		fmt.Printf("  coalition %-22s members: %v\n", c, world.Members(c))
+	}
+	fmt.Printf("  %d service links\n", len(world.Links()))
+
+	node, ok := world.Node(*nodeName)
+	if !ok {
+		log.Fatalf("no node %q; one of %v", *nodeName, world.NodeNames())
+	}
+	fmt.Printf("\nBrowser for %q at http://%s/\n", *nodeName, *httpAddr)
+	if err := http.ListenAndServe(*httpAddr, browser.NewServer(node).Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

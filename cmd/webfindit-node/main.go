@@ -1,0 +1,165 @@
+// Command webfindit-node runs one WebFINDIT participant as a standalone
+// process: its database engine, co-database, ISI and co-database servants on
+// an IIOP endpoint, an optional HTTP browser UI, and optional registration
+// with a naming service — so multiple processes form a real distributed
+// federation, as in the paper's deployment.
+//
+// Usage:
+//
+//	webfindit-node -config node.json [-serve-naming]
+//
+// Config file format (JSON):
+//
+//	{
+//	  "name": "Royal Brisbane Hospital",
+//	  "engine": "Oracle",                  // Oracle|mSQL|DB2|Sybase|ObjectStore|Ontos
+//	  "orb": "VisiBroker",                 // Orbix|OrbixWeb|VisiBroker
+//	  "listen": "127.0.0.1:9001",          // IIOP endpoint
+//	  "http": "127.0.0.1:8080",            // optional browser UI endpoint
+//	  "naming": "127.0.0.1:9000",          // optional naming service to register with
+//	  "information_type": "Research and Medical",
+//	  "documentation": "http://example.org/rbh",
+//	  "schema": "CREATE TABLE t (a INT);", // inline SQL, or:
+//	  "schema_file": "schema.sql",
+//	  "interface": [ { "name": "T", "functions": [ ... ] } ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/browser"
+	"repro/internal/codb"
+	"repro/internal/core"
+	"repro/internal/naming"
+	"repro/internal/orb"
+)
+
+type nodeFile struct {
+	Name            string              `json:"name"`
+	Engine          string              `json:"engine"`
+	ORB             string              `json:"orb"`
+	Listen          string              `json:"listen"`
+	HTTP            string              `json:"http"`
+	Naming          string              `json:"naming"`
+	InformationType string              `json:"information_type"`
+	Documentation   string              `json:"documentation"`
+	DocumentHTML    string              `json:"document_html"`
+	Location        string              `json:"location"`
+	Schema          string              `json:"schema"`
+	SchemaFile      string              `json:"schema_file"`
+	Interface       []codb.ExportedType `json:"interface"`
+	// InterfaceWTL declares the exported interface in the paper's WebTassili
+	// syntax (Type X { attribute ...; function ...; }) instead of JSON.
+	InterfaceWTL string `json:"interface_wtl"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("webfindit-node: ")
+	configPath := flag.String("config", "", "path to the node's JSON config")
+	serveNaming := flag.Bool("serve-naming", false, "also host a naming service on this node's ORB")
+	flag.Parse()
+	if *configPath == "" {
+		log.Fatal("the -config flag is required")
+	}
+	data, err := os.ReadFile(*configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg nodeFile
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parse %s: %v", *configPath, err)
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.ORB == "" {
+		cfg.ORB = string(orb.Orbix)
+	}
+
+	o := orb.New(orb.Options{Product: orb.Product(cfg.ORB)})
+	if err := o.Listen(cfg.Listen); err != nil {
+		log.Fatal(err)
+	}
+	defer o.Shutdown()
+	log.Printf("ORB %s listening on %s", cfg.ORB, o.Addr())
+
+	if *serveNaming {
+		if _, _, err := naming.Serve(o); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("naming service active at %s", o.Addr())
+	}
+
+	iface := cfg.Interface
+	if cfg.InterfaceWTL != "" {
+		parsed, err := codb.ParseInterface(cfg.InterfaceWTL)
+		if err != nil {
+			log.Fatalf("interface_wtl: %v", err)
+		}
+		iface = append(iface, parsed...)
+	}
+	schema := cfg.Schema
+	if cfg.SchemaFile != "" {
+		body, err := os.ReadFile(cfg.SchemaFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		schema = string(body)
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Name:            cfg.Name,
+		Engine:          cfg.Engine,
+		ORB:             o,
+		InformationType: cfg.InformationType,
+		Documentation:   cfg.Documentation,
+		DocumentHTML:    cfg.DocumentHTML,
+		Location:        cfg.Location,
+		Interface:       iface,
+		Schema:          schema,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("node %q up: engine=%s wrapper=%s", cfg.Name, cfg.Engine, node.Descriptor.Wrapper)
+	fmt.Printf("ISI IOR:        %s\n", node.Descriptor.ISIRef)
+	fmt.Printf("CoDatabase IOR: %s\n", node.Descriptor.CoDBRef)
+
+	if cfg.Naming != "" {
+		nc, err := naming.ClientFor(o, cfg.Naming)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := nc.Rebind("WebFINDIT/CoDatabases/"+cfg.Name, node.Descriptor.CoDBRef); err != nil {
+			log.Fatalf("register co-database: %v", err)
+		}
+		if err := nc.Rebind("WebFINDIT/ISIs/"+cfg.Name, node.Descriptor.ISIRef); err != nil {
+			log.Fatalf("register ISI: %v", err)
+		}
+		log.Printf("registered with naming service at %s", cfg.Naming)
+	}
+
+	if cfg.HTTP != "" {
+		srv := &http.Server{Addr: cfg.HTTP, Handler: browser.NewServer(node).Handler()}
+		go func() {
+			log.Printf("browser UI at http://%s/", cfg.HTTP)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		defer srv.Close()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+}

@@ -1,0 +1,22 @@
+// Package repro is a from-scratch Go reproduction of "Using Java and CORBA
+// for Implementing Internet Databases" (Bouguettaya, Benatallah, Ouzzani,
+// Hendra — ICDE 1999): the WebFINDIT architecture for dynamic coupling of
+// Web-accessible databases.
+//
+// The implementation lives under internal/:
+//
+//   - internal/cdr, internal/giop, internal/idl, internal/orb,
+//     internal/naming — the CORBA substrate (CDR encoding, GIOP/IIOP,
+//     IDL, three interoperating ORB products, naming service)
+//   - internal/relational, internal/oodb — the database engines standing in
+//     for Oracle/mSQL/DB2/Sybase and ObjectStore/Ontos
+//   - internal/gateway — the JDBC-like driver layer and the ISI servants
+//   - internal/codb — co-databases (the meta-data layer)
+//   - internal/wtl, internal/query — the WebTassili language and the query
+//     processor with the paper's two-level resolution algorithm
+//   - internal/core — nodes and federations
+//   - internal/browser — the HTTP browser UI (Java-applet stand-in)
+//   - internal/medworld — the paper's healthcare testbed (Figures 1-2)
+//
+// See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

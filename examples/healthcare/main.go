@@ -1,0 +1,82 @@
+// Command healthcare replays the paper's evaluation (§5 and the §2.3
+// walkthrough) on the full Medical World testbed: fourteen databases and
+// their fourteen co-databases on five DBMS engines behind three
+// IIOP-interoperating ORBs, organised into five coalitions and nine service
+// links (Figures 1 and 2).
+//
+// The session output corresponds to Figures 4-6: browsing the Research
+// coalition, displaying the Royal Brisbane Hospital documentation, and
+// running "select * from medical_students" against the hospital database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/medworld"
+)
+
+func main() {
+	fmt.Println("Building the Medical World (14 databases + 14 co-databases,")
+	fmt.Println("5 engines, 3 ORBs, 5 coalitions, 9 service links)...")
+	world, err := medworld.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Shutdown()
+
+	fmt.Println()
+	fmt.Println("== Topology (Figure 1) ==")
+	for _, c := range world.Coalitions() {
+		fmt.Printf("coalition %-22s members: %v\n", c, world.Members(c))
+	}
+	for _, l := range world.Links() {
+		fmt.Printf("service link %-28s %s %q -> %s %q\n", l.Name, l.FromKind, l.From, l.ToKind, l.To)
+	}
+
+	// The §5 session runs from QUT Research, as in the paper.
+	qut, _ := world.Node(medworld.QUT)
+	session := qut.NewSession()
+
+	run := func(stmt string) {
+		fmt.Printf("\nwtl> %s\n", stmt)
+		resp, err := session.Execute(stmt)
+		if err != nil {
+			log.Fatalf("%s: %v", stmt, err)
+		}
+		fmt.Println(resp.Text)
+		if resp.Translated != "" {
+			fmt.Printf("(wrapper produced: %s)\n", resp.Translated)
+		}
+	}
+
+	fmt.Println("\n== The §2.3 / §5 walkthrough from QUT Research ==")
+	run("Find Coalitions With Information Medical Research;")
+	run("Connect To Coalition Research;")
+	run("Display SubClasses of Class Research;")
+	run("Display Instances of Class Research;")
+	run("Display Document of Instance Royal Brisbane Hospital Of Class Research;") // Figure 4
+	run("Display Access Information of Instance Royal Brisbane Hospital;")
+	run(`Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs"));`)
+
+	fmt.Println("\n== Figure 5: the RBH documentation page ==")
+	resp, err := session.Execute("Display Documentation of Instance Royal Brisbane Hospital;")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(resp.DocHTML)
+
+	fmt.Println("== Figure 6: native SQL on the hospital database ==")
+	run(`Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
+
+	fmt.Println("\n== The second walkthrough: discovering Medical Insurance ==")
+	run(`Find Coalitions With Information "Medical Insurance";`)
+	run("Connect To Coalition Medical Insurance;")
+	run("Display Instances of Class Medical Insurance;")
+	run(`Premium(Policies.Holder, (Policies.Holder = "A. Howe")) On Medibank;`)
+
+	fmt.Println("\n== Layer trace of the last statement (Figure 3) ==")
+	for _, line := range session.Trace() {
+		fmt.Println("  " + line)
+	}
+}

@@ -1,0 +1,288 @@
+// Package browser implements the query-layer user interface of WebFINDIT.
+// The paper ships a Java applet that talks to CORBA objects; this
+// reproduction serves the same role with an HTTP + JSON + HTML interface in
+// front of a node's query processor. It educates users about the available
+// information space (coalitions, instances, documentation) and submits
+// WebTassili queries.
+package browser
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/codb"
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Server exposes one node's WebFINDIT services over HTTP.
+type Server struct {
+	node *core.Node
+
+	mu       sync.Mutex
+	sessions map[string]*query.Session
+	nextID   int
+}
+
+// NewServer creates a browser server for a node.
+func NewServer(node *core.Node) *Server {
+	return &Server{node: node, sessions: make(map[string]*query.Session)}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("POST /api/session", s.handleNewSession)
+	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("GET /api/coalitions", s.handleCoalitions)
+	mux.HandleFunc("GET /api/coalitions/{name}/instances", s.handleInstances)
+	mux.HandleFunc("GET /api/sources/{name}/document", s.handleDocument)
+	mux.HandleFunc("GET /api/sources/{name}/access", s.handleAccess)
+	return mux
+}
+
+// session returns the session identified by the request's sid (creating the
+// default session on first use).
+func (s *Server) session(r *http.Request) *query.Session {
+	sid := r.URL.Query().Get("sid")
+	if sid == "" {
+		sid = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[sid]
+	if !ok {
+		sess = s.node.NewSession()
+		s.sessions[sid] = sess
+	}
+	return sess
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleNewSession allocates a fresh session and returns its id.
+func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.nextID++
+	sid := fmt.Sprintf("s%d", s.nextID)
+	s.sessions[sid] = s.node.NewSession()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"sid": sid})
+}
+
+// queryRequest is the /api/query body.
+type queryRequest struct {
+	Statement string `json:"statement"`
+}
+
+// leadJSON mirrors query.Lead for the wire.
+type leadJSON struct {
+	Coalition string  `json:"coalition"`
+	Score     float64 `json:"score"`
+	Via       string  `json:"via"`
+}
+
+// resultJSON carries a tabular result.
+type resultJSON struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// queryResponse is the /api/query reply.
+type queryResponse struct {
+	Text       string      `json:"text"`
+	Leads      []leadJSON  `json:"leads,omitempty"`
+	Names      []string    `json:"names,omitempty"`
+	Sources    []string    `json:"sources,omitempty"`
+	DocURL     string      `json:"doc_url,omitempty"`
+	DocHTML    string      `json:"doc_html,omitempty"`
+	Translated string      `json:"translated,omitempty"`
+	Result     *resultJSON `json:"result,omitempty"`
+	Coalition  string      `json:"coalition,omitempty"`
+	Source     string      `json:"source,omitempty"`
+	Trace      []string    `json:"trace,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("browser: bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Statement) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("browser: empty statement"))
+		return
+	}
+	sess := s.session(r)
+	resp, err := sess.Execute(req.Statement)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := queryResponse{
+		Text:       resp.Text,
+		Names:      resp.Names,
+		DocURL:     resp.DocURL,
+		DocHTML:    resp.DocHTML,
+		Translated: resp.Translated,
+		Coalition:  sess.Coalition,
+		Source:     sess.Source,
+		Trace:      sess.Trace(),
+	}
+	for _, l := range resp.Leads {
+		out.Leads = append(out.Leads, leadJSON{Coalition: l.Coalition, Score: l.Score, Via: l.Via})
+	}
+	for _, d := range resp.Sources {
+		out.Sources = append(out.Sources, d.Name)
+	}
+	if resp.Result != nil {
+		rj := &resultJSON{Columns: resp.Result.Columns}
+		for _, row := range resp.Result.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			rj.Rows = append(rj.Rows, cells)
+		}
+		out.Result = rj
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCoalitions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"coalitions": s.node.CoDB.Coalitions(),
+	})
+}
+
+// sourceJSON is the descriptor shape exposed to the UI.
+type sourceJSON struct {
+	Name            string   `json:"name"`
+	InformationType string   `json:"information_type"`
+	Documentation   string   `json:"documentation"`
+	Location        string   `json:"location"`
+	Wrapper         string   `json:"wrapper"`
+	Engine          string   `json:"engine"`
+	ORB             string   `json:"orb"`
+	Interface       []string `json:"interface"`
+}
+
+func toSourceJSON(d *codb.SourceDescriptor) sourceJSON {
+	return sourceJSON{
+		Name:            d.Name,
+		InformationType: d.InformationType,
+		Documentation:   d.Documentation,
+		Location:        d.Location,
+		Wrapper:         d.Wrapper,
+		Engine:          d.Engine,
+		ORB:             d.ORB,
+		Interface:       d.InterfaceNames(),
+	}
+}
+
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	members, err := s.node.CoDB.Members(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	out := make([]sourceJSON, len(members))
+	for i, m := range members {
+		out[i] = toSourceJSON(m)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"coalition": name, "instances": out})
+}
+
+// handleDocument serves a source's documentation page (Figure 5: "displays
+// the content of the HTML file containing the documentation").
+func (s *Server) handleDocument(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, ok := s.node.CoDB.FindSource(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("browser: no source %s", name))
+		return
+	}
+	if d.DocumentHTML == "" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("browser: source %s has no document", name))
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, d.DocumentHTML)
+}
+
+func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, ok := s.node.CoDB.FindSource(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("browser: no source %s", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, toSourceJSON(d))
+}
+
+// indexTemplate is the browser page: a WebTassili input plus an information
+// space panel, standing in for the applet of Figures 4-6.
+var indexTemplate = template.Must(template.New("index").Parse(`<!doctype html>
+<html>
+<head><title>WebFINDIT — {{.Node}}</title>
+<style>
+body { font-family: sans-serif; margin: 2rem; }
+textarea { width: 100%; height: 4rem; font-family: monospace; }
+pre { background: #f4f4f4; padding: 1rem; overflow-x: auto; }
+.cols { display: flex; gap: 2rem; }
+.col { flex: 1; }
+</style>
+</head>
+<body>
+<h1>WebFINDIT browser — node {{.Node}}</h1>
+<div class="cols">
+<div class="col">
+<h2>WebTassili query</h2>
+<textarea id="stmt">Find Coalitions With Information Medical Research;</textarea>
+<p><button onclick="run()">Submit</button></p>
+<pre id="out"></pre>
+</div>
+<div class="col">
+<h2>Known coalitions</h2>
+<ul>{{range .Coalitions}}<li>{{.}}</li>{{end}}</ul>
+</div>
+</div>
+<script>
+async function run() {
+  const stmt = document.getElementById('stmt').value;
+  const res = await fetch('/api/query', {method: 'POST',
+    headers: {'Content-Type': 'application/json'},
+    body: JSON.stringify({statement: stmt})});
+  const data = await res.json();
+  document.getElementById('out').textContent = JSON.stringify(data, null, 2);
+}
+</script>
+</body>
+</html>
+`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTemplate.Execute(w, map[string]any{
+		"Node":       s.node.Config.Name,
+		"Coalitions": s.node.CoDB.Coalitions(),
+	})
+}

@@ -1,0 +1,261 @@
+package browser
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/codb"
+	"repro/internal/core"
+	"repro/internal/orb"
+)
+
+// newTestServer builds a two-node federation and a browser on node Alpha.
+func newTestServer(t *testing.T) (*httptest.Server, *core.Federation) {
+	t.Helper()
+	f, err := core.NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Shutdown)
+	alpha, err := f.AddNode(orb.VisiBroker, core.NodeConfig{
+		Name: "Alpha", Engine: core.EngineOracle,
+		InformationType: "clinical records",
+		Documentation:   "http://example.org/alpha",
+		DocumentHTML:    "<html><body><h1>Alpha docs</h1></body></html>",
+		Schema:          "CREATE TABLE t (a INT); INSERT INTO t VALUES (7);",
+		Interface: []codb.ExportedType{{
+			Name: "T",
+			Functions: []codb.ExportedFunction{{
+				Name: "A", Returns: "int", Table: "t", ResultColumn: "a", ArgColumn: "a",
+			}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddNode(orb.Orbix, core.NodeConfig{
+		Name: "Beta", Engine: core.EngineDB2,
+		InformationType: "billing records",
+		Schema:          "CREATE TABLE u (b INT);",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DefineCoalition("Clinical", "", "clinical data", "Alpha", "Beta"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(alpha).Handler())
+	t.Cleanup(srv.Close)
+	return srv, f
+}
+
+func postQuery(t *testing.T, base, sid, stmt string) (int, map[string]any) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"statement": stmt})
+	url := base + "/api/query"
+	if sid != "" {
+		url += "?sid=" + sid
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestIndexPage(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	text := string(body)
+	if !strings.Contains(text, "WebFINDIT browser") || !strings.Contains(text, "Clinical") {
+		t.Errorf("index page:\n%s", text)
+	}
+	// Unknown paths 404.
+	resp2, _ := http.Get(srv.URL + "/nope")
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Errorf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	status, out := postQuery(t, srv.URL, "", "Find Coalitions With Information clinical records;")
+	if status != 200 {
+		t.Fatalf("status = %d: %v", status, out)
+	}
+	leads, _ := out["leads"].([]any)
+	if len(leads) == 0 {
+		t.Fatalf("no leads: %v", out)
+	}
+	first := leads[0].(map[string]any)
+	if first["coalition"] != "Clinical" {
+		t.Errorf("lead = %v", first)
+	}
+	if trace, _ := out["trace"].([]any); len(trace) == 0 {
+		t.Error("no trace returned")
+	}
+
+	// Session state persists across calls on the same sid.
+	status, _ = postQuery(t, srv.URL, "", "Connect To Coalition Clinical;")
+	if status != 200 {
+		t.Fatalf("connect status = %d", status)
+	}
+	status, out = postQuery(t, srv.URL, "", "Display Instances of Class Clinical;")
+	if status != 200 {
+		t.Fatalf("instances status = %d", status)
+	}
+	srcs, _ := out["sources"].([]any)
+	if len(srcs) != 2 {
+		t.Errorf("sources = %v", srcs)
+	}
+
+	// Data query returns a tabular result.
+	status, out = postQuery(t, srv.URL, "", `Query Alpha Using Native "SELECT a FROM t";`)
+	if status != 200 {
+		t.Fatalf("native status = %d: %v", status, out)
+	}
+	result, _ := out["result"].(map[string]any)
+	if result == nil {
+		t.Fatalf("no result: %v", out)
+	}
+	rows, _ := result["rows"].([]any)
+	if len(rows) != 1 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	status, out := postQuery(t, srv.URL, "", "Gibberish;")
+	if status != 422 || out["error"] == nil {
+		t.Errorf("parse error status = %d, %v", status, out)
+	}
+	status, _ = postQuery(t, srv.URL, "", "")
+	if status != 400 {
+		t.Errorf("empty statement status = %d", status)
+	}
+	resp, err := http.Post(srv.URL+"/api/query", "application/json", strings.NewReader("{bad json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad json status = %d", resp.StatusCode)
+	}
+}
+
+func TestSessionsAreIsolated(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// Create a named session and connect it to the coalition.
+	resp, err := http.Post(srv.URL+"/api/session", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess map[string]string
+	json.NewDecoder(resp.Body).Decode(&sess)
+	resp.Body.Close()
+	sid := sess["sid"]
+	if sid == "" {
+		t.Fatal("no sid")
+	}
+	if status, _ := postQuery(t, srv.URL, sid, "Connect To Coalition Clinical;"); status != 200 {
+		t.Fatal("connect failed")
+	}
+	_, out := postQuery(t, srv.URL, sid, "Display Instances of Class Clinical;")
+	if out["coalition"] != "Clinical" {
+		t.Errorf("named session coalition = %v", out["coalition"])
+	}
+	// The default session is untouched.
+	_, out = postQuery(t, srv.URL, "", "Find Coalitions With Information clinical records;")
+	if out["coalition"] != nil && out["coalition"] != "" {
+		t.Errorf("default session coalition = %v", out["coalition"])
+	}
+}
+
+func TestCoalitionsAndInstancesEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/api/coalitions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs map[string][]string
+	json.NewDecoder(resp.Body).Decode(&cs)
+	resp.Body.Close()
+	if len(cs["coalitions"]) != 1 || cs["coalitions"][0] != "Clinical" {
+		t.Errorf("coalitions = %v", cs)
+	}
+
+	resp, err = http.Get(srv.URL + "/api/coalitions/Clinical/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inst map[string]any
+	json.NewDecoder(resp.Body).Decode(&inst)
+	resp.Body.Close()
+	if got, _ := inst["instances"].([]any); len(got) != 2 {
+		t.Errorf("instances = %v", inst)
+	}
+
+	resp, _ = http.Get(srv.URL + "/api/coalitions/Nope/instances")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown coalition status = %d", resp.StatusCode)
+	}
+}
+
+func TestDocumentAndAccessEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/api/sources/Alpha/document")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "Alpha docs") {
+		t.Errorf("document: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %s", ct)
+	}
+
+	resp, err = http.Get(srv.URL + "/api/sources/Alpha/access")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc map[string]any
+	json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if acc["wrapper"] != "WebTassiliOracle" || acc["engine"] != "Oracle" {
+		t.Errorf("access = %v", acc)
+	}
+
+	// Beta has no document body.
+	resp, _ = http.Get(srv.URL + "/api/sources/Beta/document")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("no-document status = %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/api/sources/Nobody/access")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown source status = %d", resp.StatusCode)
+	}
+}

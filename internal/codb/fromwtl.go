@@ -1,0 +1,58 @@
+package codb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/wtl"
+)
+
+// FromTypeDecl converts a parsed WebTassili type declaration into an
+// exported type, applying the paper's implicit conventions: an access
+// routine projects the column named after the function from the relation
+// named by its first argument's qualifier ("Funding(ResearchProjects.Title,
+// ...)" reads ResearchProjects.Funding), and the predicate constrains the
+// first argument's column.
+func FromTypeDecl(td wtl.TypeDecl) (ExportedType, error) {
+	et := ExportedType{Name: td.Name}
+	for _, a := range td.Attributes {
+		et.Attributes = append(et.Attributes, TypedMember{Type: a.Type, Name: a.Name})
+	}
+	for _, f := range td.Functions {
+		ef := ExportedFunction{Name: f.Name, Returns: f.Returns, ResultColumn: f.Name}
+		for _, a := range f.Args {
+			ef.Args = append(ef.Args, TypedMember{Type: a.Type, Name: a.Name})
+		}
+		if len(f.Args) == 0 {
+			return ExportedType{}, fmt.Errorf(
+				"codb: function %s of type %s declares no arguments; cannot infer its relation", f.Name, td.Name)
+		}
+		table, col, ok := strings.Cut(f.Args[0].Name, ".")
+		if !ok {
+			// Unqualified argument: the relation is the type itself.
+			table, col = td.Name, f.Args[0].Name
+		}
+		ef.Table = table
+		ef.ArgColumn = col
+		et.Functions = append(et.Functions, ef)
+	}
+	return et, nil
+}
+
+// ParseInterface parses a WebTassili interface text (one or more Type
+// declarations) into exported types.
+func ParseInterface(src string) ([]ExportedType, error) {
+	decls, err := wtl.ParseTypeDecls(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExportedType, 0, len(decls))
+	for _, td := range decls {
+		et, err := FromTypeDecl(td)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, et)
+	}
+	return out, nil
+}

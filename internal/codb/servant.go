@@ -1,0 +1,331 @@
+package codb
+
+import (
+	"fmt"
+
+	"repro/internal/idl"
+	"repro/internal/orb"
+)
+
+// IDL is the CORBA interface of a co-database server: the meta-data layer
+// operations the query layer uses to educate users and resolve queries.
+var IDL = idl.MustParse(`
+module WebFINDIT {
+    interface CoDatabase {
+        string owner();
+        sequence<any> find_coalitions(in string topic);
+        sequence<any> find_links(in string topic);
+        sequence<any> coalitions();
+        sequence<any> member_of();
+        sequence<any> subclasses(in string coalition, in boolean direct);
+        sequence<any> instances(in string coalition);
+        any coalition_info(in string coalition);
+        any access_info(in string source);
+        any document(in string source);
+        sequence<any> links();
+        void define_coalition(in string name, in string parent, in string description);
+        void advertise(in string coalition, in any descriptor);
+        void add_link(in any link);
+        void remove_member(in string coalition, in string source);
+    };
+};
+`)[0]
+
+func matchToAny(m Match) idl.Any {
+	return idl.Struct(
+		idl.F("coalition", idl.String(m.Coalition)),
+		idl.F("score", idl.Double(m.Score)),
+		idl.F("via", idl.String(m.Via)),
+		idl.F("codb_ref", idl.String(m.CoDBRef)),
+	)
+}
+
+// MatchFromAny unpacks a discovery match.
+func MatchFromAny(a idl.Any) Match {
+	score, _ := a.Get("score")
+	return Match{
+		Coalition: a.GetString("coalition"),
+		Score:     score.Float,
+		Via:       a.GetString("via"),
+		CoDBRef:   a.GetString("codb_ref"),
+	}
+}
+
+// NewServant exposes a co-database through the ORB.
+func NewServant(cd *CoDatabase) orb.Servant {
+	userErr := func(err error) error {
+		return &orb.UserException{Name: "CoDatabaseError", Message: err.Error()}
+	}
+	h := orb.NewHandler(IDL)
+	h.On("owner", func(args []idl.Any) (idl.Any, error) {
+		return idl.String(cd.Owner()), nil
+	})
+	h.On("find_coalitions", func(args []idl.Any) (idl.Any, error) {
+		matches := cd.FindCoalitions(args[0].Str)
+		out := make([]idl.Any, len(matches))
+		for i, m := range matches {
+			out[i] = matchToAny(m)
+		}
+		return idl.Seq(out...), nil
+	})
+	h.On("find_links", func(args []idl.Any) (idl.Any, error) {
+		matches := cd.FindLinks(args[0].Str)
+		out := make([]idl.Any, len(matches))
+		for i, m := range matches {
+			out[i] = matchToAny(m)
+		}
+		return idl.Seq(out...), nil
+	})
+	h.On("coalitions", func(args []idl.Any) (idl.Any, error) {
+		return idl.Strings(cd.Coalitions()), nil
+	})
+	h.On("member_of", func(args []idl.Any) (idl.Any, error) {
+		return idl.Strings(cd.MemberOf()), nil
+	})
+	h.On("subclasses", func(args []idl.Any) (idl.Any, error) {
+		subs, err := cd.SubCoalitions(args[0].Str, args[1].Bool)
+		if err != nil {
+			return idl.Null(), userErr(err)
+		}
+		return idl.Strings(subs), nil
+	})
+	h.On("instances", func(args []idl.Any) (idl.Any, error) {
+		members, err := cd.Members(args[0].Str)
+		if err != nil {
+			return idl.Null(), userErr(err)
+		}
+		out := make([]idl.Any, len(members))
+		for i, m := range members {
+			out[i] = m.ToAny()
+		}
+		return idl.Seq(out...), nil
+	})
+	h.On("coalition_info", func(args []idl.Any) (idl.Any, error) {
+		desc, syns, ok := cd.CoalitionInfo(args[0].Str)
+		if !ok {
+			return idl.Null(), userErr(fmt.Errorf("codb: no coalition %s known here", args[0].Str))
+		}
+		return idl.Struct(
+			idl.F("name", idl.String(args[0].Str)),
+			idl.F("description", idl.String(desc)),
+			idl.F("synonyms", idl.Strings(syns)),
+		), nil
+	})
+	h.On("access_info", func(args []idl.Any) (idl.Any, error) {
+		d, ok := cd.FindSource(args[0].Str)
+		if !ok {
+			return idl.Null(), userErr(fmt.Errorf("codb: no source %s known here", args[0].Str))
+		}
+		return d.ToAny(), nil
+	})
+	h.On("document", func(args []idl.Any) (idl.Any, error) {
+		d, ok := cd.FindSource(args[0].Str)
+		if !ok {
+			return idl.Null(), userErr(fmt.Errorf("codb: no source %s known here", args[0].Str))
+		}
+		return idl.Struct(
+			idl.F("name", idl.String(d.Name)),
+			idl.F("documentation", idl.String(d.Documentation)),
+			idl.F("html", idl.String(d.DocumentHTML)),
+		), nil
+	})
+	h.On("links", func(args []idl.Any) (idl.Any, error) {
+		links := cd.Links()
+		out := make([]idl.Any, len(links))
+		for i, l := range links {
+			out[i] = l.ToAny()
+		}
+		return idl.Seq(out...), nil
+	})
+	h.On("define_coalition", func(args []idl.Any) (idl.Any, error) {
+		if err := cd.DefineCoalition(args[0].Str, args[1].Str, args[2].Str); err != nil {
+			return idl.Null(), userErr(err)
+		}
+		return idl.Any{Kind: idl.KindVoid}, nil
+	})
+	h.On("advertise", func(args []idl.Any) (idl.Any, error) {
+		d, err := DescriptorFromAny(args[1])
+		if err != nil {
+			return idl.Null(), userErr(err)
+		}
+		if err := cd.AddMember(args[0].Str, d); err != nil {
+			return idl.Null(), userErr(err)
+		}
+		return idl.Any{Kind: idl.KindVoid}, nil
+	})
+	h.On("add_link", func(args []idl.Any) (idl.Any, error) {
+		l, err := LinkFromAny(args[0])
+		if err != nil {
+			return idl.Null(), userErr(err)
+		}
+		if err := cd.AddLink(l); err != nil {
+			return idl.Null(), userErr(err)
+		}
+		return idl.Any{Kind: idl.KindVoid}, nil
+	})
+	h.On("remove_member", func(args []idl.Any) (idl.Any, error) {
+		if err := cd.RemoveMember(args[0].Str, args[1].Str); err != nil {
+			return idl.Null(), userErr(err)
+		}
+		return idl.Any{Kind: idl.KindVoid}, nil
+	})
+	return h
+}
+
+// Client is a typed client for a (possibly remote) co-database servant. The
+// query processor works exclusively through this interface, so local and
+// remote metadata are handled identically.
+type Client struct {
+	ref *orb.ObjectRef
+}
+
+// NewClient wraps an object reference to a co-database servant.
+func NewClient(ref *orb.ObjectRef) *Client { return &Client{ref: ref} }
+
+// Ref returns the underlying object reference.
+func (c *Client) Ref() *orb.ObjectRef { return c.ref }
+
+// Owner asks for the owning database's name.
+func (c *Client) Owner() (string, error) {
+	v, err := c.ref.Invoke("owner")
+	if err != nil {
+		return "", err
+	}
+	return v.Str, nil
+}
+
+func (c *Client) matches(op, topic string) ([]Match, error) {
+	v, err := c.ref.Invoke(op, idl.String(topic))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(v.Seq))
+	for _, item := range v.Seq {
+		out = append(out, MatchFromAny(item))
+	}
+	return out, nil
+}
+
+// FindCoalitions scores the remote co-database's coalitions against topic.
+func (c *Client) FindCoalitions(topic string) ([]Match, error) {
+	return c.matches("find_coalitions", topic)
+}
+
+// FindLinks scores the remote co-database's service links against topic.
+func (c *Client) FindLinks(topic string) ([]Match, error) {
+	return c.matches("find_links", topic)
+}
+
+// Coalitions lists the remote co-database's coalition classes.
+func (c *Client) Coalitions() ([]string, error) {
+	v, err := c.ref.Invoke("coalitions")
+	if err != nil {
+		return nil, err
+	}
+	return v.StringSlice(), nil
+}
+
+// MemberOf lists the coalitions the remote owner belongs to.
+func (c *Client) MemberOf() ([]string, error) {
+	v, err := c.ref.Invoke("member_of")
+	if err != nil {
+		return nil, err
+	}
+	return v.StringSlice(), nil
+}
+
+// SubCoalitions lists sub-coalitions of a coalition.
+func (c *Client) SubCoalitions(coalition string, direct bool) ([]string, error) {
+	v, err := c.ref.Invoke("subclasses", idl.String(coalition), idl.Bool(direct))
+	if err != nil {
+		return nil, err
+	}
+	return v.StringSlice(), nil
+}
+
+// Instances lists a coalition's member descriptors.
+func (c *Client) Instances(coalition string) ([]*SourceDescriptor, error) {
+	v, err := c.ref.Invoke("instances", idl.String(coalition))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*SourceDescriptor, 0, len(v.Seq))
+	for _, item := range v.Seq {
+		d, err := DescriptorFromAny(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// CoalitionInfo fetches a coalition's description and synonyms.
+func (c *Client) CoalitionInfo(coalition string) (string, []string, error) {
+	v, err := c.ref.Invoke("coalition_info", idl.String(coalition))
+	if err != nil {
+		return "", nil, err
+	}
+	syns, _ := v.Get("synonyms")
+	return v.GetString("description"), syns.StringSlice(), nil
+}
+
+// AccessInfo fetches a source descriptor by database name.
+func (c *Client) AccessInfo(source string) (*SourceDescriptor, error) {
+	v, err := c.ref.Invoke("access_info", idl.String(source))
+	if err != nil {
+		return nil, err
+	}
+	return DescriptorFromAny(v)
+}
+
+// Document fetches a source's documentation URL and HTML body.
+func (c *Client) Document(source string) (url, html string, err error) {
+	v, err := c.ref.Invoke("document", idl.String(source))
+	if err != nil {
+		return "", "", err
+	}
+	return v.GetString("documentation"), v.GetString("html"), nil
+}
+
+// Links lists the remote co-database's service links.
+func (c *Client) Links() ([]*ServiceLink, error) {
+	v, err := c.ref.Invoke("links")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ServiceLink, 0, len(v.Seq))
+	for _, item := range v.Seq {
+		l, err := LinkFromAny(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// DefineCoalition declares a coalition class remotely.
+func (c *Client) DefineCoalition(name, parent, description string) error {
+	_, err := c.ref.Invoke("define_coalition",
+		idl.String(name), idl.String(parent), idl.String(description))
+	return err
+}
+
+// Advertise adds a member descriptor to a remote coalition (dynamic join).
+func (c *Client) Advertise(coalition string, d *SourceDescriptor) error {
+	_, err := c.ref.Invoke("advertise", idl.String(coalition), d.ToAny())
+	return err
+}
+
+// AddLink records a service link remotely.
+func (c *Client) AddLink(l *ServiceLink) error {
+	_, err := c.ref.Invoke("add_link", l.ToAny())
+	return err
+}
+
+// RemoveMember withdraws a database from a remote coalition.
+func (c *Client) RemoveMember(coalition, source string) error {
+	_, err := c.ref.Invoke("remove_member", idl.String(coalition), idl.String(source))
+	return err
+}

@@ -1,0 +1,225 @@
+// Package core assembles the WebFINDIT system: a Node couples one database
+// (relational or object-oriented engine) with its co-database, its
+// Information Source Interface servant and its co-database servant on an
+// ORB; a Federation wires nodes into coalitions and service links across the
+// three ORB products, reproducing the architecture of the paper's Figures 2
+// and 3.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codb"
+	"repro/internal/gateway"
+	"repro/internal/oodb"
+	"repro/internal/orb"
+	"repro/internal/query"
+	"repro/internal/relational"
+)
+
+// Engine names accepted by NodeConfig (the five DBMSs of the paper plus
+// Sybase, which the paper lists as supported).
+const (
+	EngineOracle      = "Oracle"
+	EngineMSQL        = "mSQL"
+	EngineDB2         = "DB2"
+	EngineSybase      = "Sybase"
+	EngineObjectStore = "ObjectStore"
+	EngineOntos       = "Ontos"
+)
+
+// IsRelational reports whether the engine is a relational DBMS.
+func IsRelational(engine string) bool {
+	switch engine {
+	case EngineOracle, EngineMSQL, EngineDB2, EngineSybase:
+		return true
+	}
+	return false
+}
+
+// NodeConfig describes one participating database.
+type NodeConfig struct {
+	Name            string // database name, e.g. "Royal Brisbane Hospital"
+	Engine          string // one of the Engine* constants
+	ORB             *orb.ORB
+	InformationType string
+	Documentation   string // URL
+	DocumentHTML    string // document body served by the browser layer
+	Location        string // advertised location; defaults to the ORB address
+	Interface       []codb.ExportedType
+	// Schema, for relational engines, is a SQL script (DDL + seed rows) run
+	// at construction. Object engines seed through SeedObjects.
+	Schema string
+	// SeedObjects, for object engines, populates the fresh OO database.
+	SeedObjects func(*oodb.DB) error
+}
+
+// Node is one running WebFINDIT participant.
+type Node struct {
+	Config     NodeConfig
+	RelDB      *relational.Database // non-nil for relational engines
+	OODB       *oodb.DB             // non-nil for object engines
+	CoDB       *codb.CoDatabase
+	Descriptor *codb.SourceDescriptor
+	ISIIOR     *orb.IOR
+	CoDBIOR    *orb.IOR
+	Processor  *query.Processor
+
+	isiConn gateway.Conn
+}
+
+// isiKey and codbKey name the node's servants on its ORB.
+func isiKey(name string) string  { return "ISI/" + name }
+func codbKey(name string) string { return "CoDatabase/" + name }
+
+// NewNode builds, seeds and activates a node on its ORB.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: node needs a name")
+	}
+	if cfg.ORB == nil || cfg.ORB.Addr() == "" {
+		return nil, fmt.Errorf("core: node %s needs a listening ORB", cfg.Name)
+	}
+	n := &Node{Config: cfg, CoDB: codb.New(cfg.Name)}
+
+	// Build the engine and its gateway connection.
+	var conn gateway.Conn
+	switch {
+	case IsRelational(cfg.Engine):
+		dialect, err := relational.DialectByName(cfg.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %s: %w", cfg.Name, err)
+		}
+		n.RelDB = relational.NewDatabase(cfg.Name, dialect)
+		if cfg.Schema != "" {
+			if _, err := n.RelDB.ExecScript(cfg.Schema); err != nil {
+				return nil, fmt.Errorf("core: node %s schema: %w", cfg.Name, err)
+			}
+		}
+		drv := gateway.NewRelationalDriver(cfg.Engine)
+		if err := drv.Add(n.RelDB); err != nil {
+			return nil, err
+		}
+		conn, err = drv.Open(cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.Engine == EngineObjectStore || cfg.Engine == EngineOntos:
+		n.OODB = oodb.NewDB(cfg.Name)
+		if cfg.SeedObjects != nil {
+			if err := cfg.SeedObjects(n.OODB); err != nil {
+				return nil, fmt.Errorf("core: node %s seed: %w", cfg.Name, err)
+			}
+		}
+		drv := gateway.NewObjectDriver(cfg.Engine)
+		drv.Add(n.OODB)
+		var err error
+		conn, err = drv.Open(cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: node %s: unknown engine %q", cfg.Name, cfg.Engine)
+	}
+	n.isiConn = conn
+
+	// Activate the servants.
+	isiIOR, err := cfg.ORB.Activate(isiKey(cfg.Name), gateway.NewISIServant(conn))
+	if err != nil {
+		return nil, err
+	}
+	n.ISIIOR = isiIOR
+	codbIOR, err := cfg.ORB.Activate(codbKey(cfg.Name), codb.NewServant(n.CoDB))
+	if err != nil {
+		return nil, err
+	}
+	n.CoDBIOR = codbIOR
+
+	location := cfg.Location
+	if location == "" {
+		location = cfg.ORB.Addr()
+	}
+	n.Descriptor = &codb.SourceDescriptor{
+		Name:            cfg.Name,
+		InformationType: cfg.InformationType,
+		Documentation:   cfg.Documentation,
+		DocumentHTML:    cfg.DocumentHTML,
+		Location:        location,
+		Wrapper:         "WebTassili" + cfg.Engine,
+		ISIRef:          orb.Stringify(isiIOR),
+		CoDBRef:         orb.Stringify(codbIOR),
+		Engine:          cfg.Engine,
+		ORB:             string(cfg.ORB.Product()),
+		Interface:       cfg.Interface,
+	}
+
+	resolveInterfaceTables(n)
+	n.CoDB.SetOwnerDescriptor(n.Descriptor)
+
+	n.Processor, err = query.New(query.Config{
+		ORB:            cfg.ORB,
+		Home:           cfg.Name,
+		HomeDescriptor: n.Descriptor,
+		Local:          codb.NewClient(cfg.ORB.Resolve(codbIOR)),
+		LocalCoDB:      n.CoDB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// NewSession opens a WebTassili session on this node.
+func (n *Node) NewSession() *query.Session { return n.Processor.NewSession() }
+
+// Close deactivates the node's servants.
+func (n *Node) Close() error {
+	var first error
+	if err := n.Config.ORB.Deactivate(isiKey(n.Config.Name)); err != nil && first == nil {
+		first = err
+	}
+	if err := n.Config.ORB.Deactivate(codbKey(n.Config.Name)); err != nil && first == nil {
+		first = err
+	}
+	if n.isiConn != nil {
+		if err := n.isiConn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// resolveInterfaceTables maps the logical relation names of exported
+// functions (e.g. "ResearchProjects", as written in a WebTassili interface
+// declaration) to the physical names the engine actually holds (e.g.
+// "research_projects"), matching case- and underscore-insensitively. The
+// descriptor keeps the resolved names so every wrapper in the federation
+// produces queries the engine accepts.
+func resolveInterfaceTables(n *Node) {
+	var physical []string
+	switch {
+	case n.RelDB != nil:
+		physical = n.RelDB.TableNames()
+	case n.OODB != nil:
+		physical = n.OODB.ClassNames()
+	default:
+		return
+	}
+	normalize := func(s string) string {
+		return strings.ReplaceAll(strings.ToLower(s), "_", "")
+	}
+	byNorm := make(map[string]string, len(physical))
+	for _, p := range physical {
+		byNorm[normalize(p)] = p
+	}
+	for ti := range n.Descriptor.Interface {
+		et := &n.Descriptor.Interface[ti]
+		for fi := range et.Functions {
+			fn := &et.Functions[fi]
+			if p, ok := byNorm[normalize(fn.Table)]; ok {
+				fn.Table = p
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package gateway is the reproduction's JDBC: a uniform driver/connection
+// interface over heterogeneous database engines, plus the Information Source
+// Interface (ISI) that exposes any connection as a CORBA servant so that a
+// database can be queried through the ORB from anywhere in the federation
+// (the paper's "each database is encapsulated in a CORBA server object").
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/idl"
+)
+
+// Result is a uniform result set: column names plus rows of self-describing
+// values, so results survive the trip through the ORB unchanged.
+type Result struct {
+	Columns      []string
+	Rows         [][]idl.Any
+	RowsAffected int64
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	if len(r.Columns) == 0 {
+		return fmt.Sprintf("OK, %d row(s) affected", r.RowsAffected)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := renderAny(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(v)
+			for p := len(v); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d row(s))\n", len(r.Rows))
+	return b.String()
+}
+
+func renderAny(v idl.Any) string {
+	switch v.Kind {
+	case idl.KindNull:
+		return "NULL"
+	case idl.KindString:
+		return v.Str
+	default:
+		return v.String()
+	}
+}
+
+// ToAny packs the result into one Any for transport through the ORB.
+func (r *Result) ToAny() idl.Any {
+	rows := make([]idl.Any, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = idl.Seq(row...)
+	}
+	return idl.Struct(
+		idl.F("columns", idl.Strings(r.Columns)),
+		idl.F("rows", idl.Seq(rows...)),
+		idl.F("affected", idl.Long(r.RowsAffected)),
+	)
+}
+
+// ResultFromAny unpacks a result shipped by ToAny.
+func ResultFromAny(a idl.Any) (*Result, error) {
+	if a.Kind != idl.KindStruct {
+		return nil, fmt.Errorf("gateway: result payload is %s, not struct", a.Kind)
+	}
+	cols, _ := a.Get("columns")
+	rowsAny, _ := a.Get("rows")
+	res := &Result{Columns: cols.StringSlice(), RowsAffected: a.GetInt("affected")}
+	for _, row := range rowsAny.Seq {
+		res.Rows = append(res.Rows, row.Seq)
+	}
+	return res, nil
+}
+
+// SourceMeta describes an engine behind a connection.
+type SourceMeta struct {
+	Engine   string // "Oracle", "mSQL", "DB2", "Sybase", "ObjectStore", "Ontos"
+	Database string // database name
+	Model    string // "relational" or "object-oriented"
+}
+
+// Conn is one open connection to a database, in the shape of a JDBC
+// connection: statement execution plus transaction control. Connections are
+// not safe for concurrent use.
+type Conn interface {
+	// Query runs a read-only query in the engine's native language (SQL for
+	// relational engines, OQL for object-oriented ones).
+	Query(q string) (*Result, error)
+	// Exec runs any statement.
+	Exec(q string) (*Result, error)
+	// Begin/Commit/Rollback control a transaction where the engine supports
+	// them.
+	Begin() error
+	Commit() error
+	Rollback() error
+	// Meta describes the engine.
+	Meta() SourceMeta
+	// Tables lists the queryable containers (tables or classes).
+	Tables() []string
+	Close() error
+}
+
+// Driver creates connections for one DSN scheme.
+type Driver interface {
+	Open(name string) (Conn, error)
+}
+
+// Manager is the DriverManager: a registry of drivers keyed by scheme. DSNs
+// have the form "scheme://name", e.g. "oracle://RBH" or
+// "objectstore://codb-RBH".
+type Manager struct {
+	mu      sync.RWMutex
+	drivers map[string]Driver
+}
+
+// NewManager returns an empty driver manager.
+func NewManager() *Manager {
+	return &Manager{drivers: make(map[string]Driver)}
+}
+
+// Register installs a driver for a scheme (lower-cased).
+func (m *Manager) Register(scheme string, d Driver) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drivers[strings.ToLower(scheme)] = d
+}
+
+// Schemes lists registered schemes, sorted.
+func (m *Manager) Schemes() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.drivers))
+	for s := range m.drivers {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open parses a DSN and opens a connection through the matching driver.
+func (m *Manager) Open(dsn string) (Conn, error) {
+	scheme, name, ok := strings.Cut(dsn, "://")
+	if !ok {
+		return nil, fmt.Errorf("gateway: malformed DSN %q (want scheme://name)", dsn)
+	}
+	m.mu.RLock()
+	d, found := m.drivers[strings.ToLower(scheme)]
+	m.mu.RUnlock()
+	if !found {
+		return nil, fmt.Errorf("gateway: no driver for scheme %q", scheme)
+	}
+	conn, err := d.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: open %s: %w", dsn, err)
+	}
+	return conn, nil
+}

@@ -1,0 +1,317 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/idl"
+	"repro/internal/oodb"
+	"repro/internal/orb"
+	"repro/internal/relational"
+)
+
+func newOracleDB(t *testing.T) *relational.Database {
+	t.Helper()
+	db := relational.NewDatabase("RBH", relational.DialectOracle)
+	if _, err := db.ExecScript(`
+		CREATE TABLE medical_students (student_id INT PRIMARY KEY, name VARCHAR(64), course VARCHAR(32), year INT);
+		INSERT INTO medical_students VALUES
+			(1, 'J. Chen', 'Medicine', 4),
+			(2, 'P. Okoye', 'Medicine', 5),
+			(3, 'S. Weiss', 'Surgery', 6);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func newCoDB(t *testing.T) *oodb.DB {
+	t.Helper()
+	db := oodb.NewDB("codb-RBH")
+	if _, err := db.DefineClass("InformationType", "",
+		oodb.Attribute{Name: "Name", Type: oodb.AttrString}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineClass("Research", "InformationType",
+		oodb.Attribute{Name: "Field", Type: oodb.AttrString}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.NewObject("Research", map[string]any{"Name": "RBH", "Field": "oncology"}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestManagerAndRelationalDriver(t *testing.T) {
+	m := NewManager()
+	drv := NewRelationalDriver("Oracle")
+	if err := drv.Add(newOracleDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	m.Register("oracle", drv)
+
+	conn, err := m.Open("oracle://RBH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, err := conn.Query("SELECT * FROM medical_students ORDER BY student_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || len(res.Columns) != 4 {
+		t.Fatalf("rows=%d cols=%d", len(res.Rows), len(res.Columns))
+	}
+	if res.Rows[0][1].Str != "J. Chen" {
+		t.Errorf("row 0: %v", res.Rows[0])
+	}
+	meta := conn.Meta()
+	if meta.Engine != "Oracle" || meta.Model != "relational" || meta.Database != "RBH" {
+		t.Errorf("meta = %+v", meta)
+	}
+	tables := conn.Tables()
+	if len(tables) != 1 || tables[0] != "medical_students" {
+		t.Errorf("tables = %v", tables)
+	}
+}
+
+func TestManagerErrors(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Open("no-scheme-separator"); err == nil {
+		t.Error("malformed DSN accepted")
+	}
+	if _, err := m.Open("nope://x"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	drv := NewRelationalDriver("Oracle")
+	m.Register("oracle", drv)
+	if _, err := m.Open("oracle://missing"); err == nil {
+		t.Error("unknown database accepted")
+	}
+	// Dialect mismatch at registration.
+	msqlDB := relational.NewDatabase("X", relational.DialectMSQL)
+	if err := drv.Add(msqlDB); err == nil {
+		t.Error("dialect mismatch accepted")
+	}
+	if got := m.Schemes(); len(got) != 1 || got[0] != "oracle" {
+		t.Errorf("schemes = %v", got)
+	}
+}
+
+func TestRelationalConnTransactions(t *testing.T) {
+	drv := NewRelationalDriver("Oracle")
+	db := newOracleDB(t)
+	if err := drv.Add(db); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := drv.Open("RBH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("DELETE FROM medical_students"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := conn.Query("SELECT COUNT(*) FROM medical_students")
+	if res.Rows[0][0].Int != 3 {
+		t.Errorf("rollback through gateway failed: %v", res.Rows[0][0])
+	}
+	// Close rolls back an open transaction.
+	if err := conn.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("DELETE FROM medical_students"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dres, _ := db.Query("SELECT COUNT(*) FROM medical_students")
+	if dres.Rows[0][0].Int != 3 {
+		t.Error("Close did not roll back")
+	}
+	if _, err := conn.Query("SELECT 1"); err == nil {
+		t.Error("query on closed connection accepted")
+	}
+}
+
+func TestObjectDriverOQL(t *testing.T) {
+	drv := NewObjectDriver("ObjectStore")
+	drv.Add(newCoDB(t))
+	conn, err := drv.Open("codb-RBH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Query("SELECT Name, Field FROM Research WHERE Field = 'oncology'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "RBH" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if conn.Meta().Model != "object-oriented" {
+		t.Errorf("meta = %+v", conn.Meta())
+	}
+	if err := conn.Begin(); err == nil {
+		t.Error("OO transactions accepted")
+	}
+	if got := conn.Tables(); len(got) != 2 {
+		t.Errorf("classes = %v", got)
+	}
+	if _, err := drv.Open("missing"); err == nil {
+		t.Error("unknown OO database accepted")
+	}
+}
+
+func TestResultAnyRoundTrip(t *testing.T) {
+	in := &Result{
+		Columns:      []string{"a", "b"},
+		Rows:         [][]idl.Any{{idl.Long(1), idl.String("x")}, {idl.Null(), idl.Double(2.5)}},
+		RowsAffected: 7,
+	}
+	out, err := ResultFromAny(in.ToAny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 || out.RowsAffected != 7 || out.Columns[1] != "b" {
+		t.Errorf("round trip = %+v", out)
+	}
+	if !out.Rows[1][1].Equal(idl.Double(2.5)) || !out.Rows[1][0].Equal(idl.Null()) {
+		t.Errorf("values = %v", out.Rows[1])
+	}
+	if _, err := ResultFromAny(idl.String("junk")); err == nil {
+		t.Error("non-struct payload accepted")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := &Result{Columns: []string{"id", "name"},
+		Rows: [][]idl.Any{{idl.Long(1), idl.String("J. Chen")}}}
+	text := r.Format()
+	if !strings.Contains(text, "J. Chen") || !strings.Contains(text, "(1 row(s))") {
+		t.Errorf("format:\n%s", text)
+	}
+	empty := &Result{RowsAffected: 2}
+	if !strings.Contains(empty.Format(), "2 row(s) affected") {
+		t.Errorf("empty format: %s", empty.Format())
+	}
+}
+
+// TestISIOverIIOP drives the full paper path: client ORB -> IIOP -> ISI
+// servant -> JDBC-like conn -> relational engine, and back.
+func TestISIOverIIOP(t *testing.T) {
+	server := orb.New(orb.Options{Product: orb.VisiBroker, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+
+	drv := NewRelationalDriver("Oracle")
+	if err := drv.Add(newOracleDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	local, err := drv.Open("RBH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ior, err := server.Activate("ISI/RBH", NewISIServant(local))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := orb.New(orb.Options{Product: orb.OrbixWeb, DisableColocation: true})
+	defer client.Shutdown()
+	rconn := NewRemoteConn(client.Resolve(ior))
+
+	res, err := rconn.Query("SELECT name FROM medical_students WHERE year > 4 ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Str != "P. Okoye" {
+		t.Errorf("remote rows = %v", res.Rows)
+	}
+	meta := rconn.Meta()
+	if meta.Engine != "Oracle" || meta.Database != "RBH" {
+		t.Errorf("remote meta = %+v", meta)
+	}
+	if tables := rconn.Tables(); len(tables) != 1 {
+		t.Errorf("remote tables = %v", tables)
+	}
+	// Engine errors surface with the engine's message.
+	_, err = rconn.Query("SELECT * FROM no_such_table")
+	if err == nil || !strings.Contains(err.Error(), "no_such_table") {
+		t.Errorf("remote error = %v", err)
+	}
+	// Exec crosses the wire too.
+	out, err := rconn.Exec("INSERT INTO medical_students VALUES (4, 'New', 'Medicine', 1)")
+	if err != nil || out.RowsAffected != 1 {
+		t.Errorf("remote exec: %+v, %v", out, err)
+	}
+	if err := rconn.Begin(); err == nil {
+		t.Error("remote transaction accepted")
+	}
+	if err := rconn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rconn.Query("SELECT 1"); err == nil {
+		t.Error("closed remote conn accepted query")
+	}
+}
+
+func TestRemoteDriverDSN(t *testing.T) {
+	server := orb.New(orb.Options{Product: orb.Orbix})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	drv := NewRelationalDriver("Oracle")
+	if err := drv.Add(newOracleDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	local, _ := drv.Open("RBH")
+	ior, _ := server.Activate("ISI/RBH", NewISIServant(local))
+
+	m := NewManager()
+	m.Register("remote", &RemoteDriver{ORB: server})
+	conn, err := m.Open("remote://" + orb.Stringify(ior))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.Query("SELECT COUNT(*) FROM medical_students")
+	if err != nil || res.Rows[0][0].Int != 3 {
+		t.Errorf("remote dsn query: %v %v", res, err)
+	}
+	if _, err := m.Open("remote://garbage"); err == nil {
+		t.Error("bad IOR accepted")
+	}
+}
+
+func TestMSQLDialectThroughGateway(t *testing.T) {
+	db := relational.NewDatabase("CentreLink", relational.DialectMSQL)
+	if _, err := db.ExecScript(`
+		CREATE TABLE benefits (person_id INT, amount FLOAT);
+		INSERT INTO benefits VALUES (1, 120.5), (2, 80.0);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	drv := NewRelationalDriver("mSQL")
+	if err := drv.Add(db); err != nil {
+		t.Fatal(err)
+	}
+	conn, _ := drv.Open("CentreLink")
+	// Plain selects work; aggregates are refused by the dialect.
+	if _, err := conn.Query("SELECT * FROM benefits"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query("SELECT SUM(amount) FROM benefits"); err == nil {
+		t.Error("mSQL aggregate accepted through gateway")
+	}
+	if err := conn.Begin(); err == nil {
+		t.Error("mSQL transaction accepted through gateway")
+	}
+}

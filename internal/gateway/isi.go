@@ -1,0 +1,178 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/idl"
+	"repro/internal/orb"
+)
+
+// ISIIDL is the Information Source Interface: the CORBA face of one
+// database. It is the object the paper's data layer exposes per source
+// ("an information source interface provides access to a specific database
+// server ... delivering requests from the communication layer and retrieving
+// results from this database").
+var ISIIDL = idl.MustParse(`
+module WebFINDIT {
+    interface ISI {
+        any query(in string q);
+        any exec(in string q);
+        any meta();
+        sequence<any> tables();
+    };
+};
+`)[0]
+
+// NewISIServant wraps a connection in an ISI servant. Invocations are
+// serialised with a mutex because gateway connections, like JDBC
+// connections, are single-threaded.
+func NewISIServant(conn Conn) orb.Servant {
+	var mu sync.Mutex
+	h := orb.NewHandler(ISIIDL)
+	h.On("query", func(args []idl.Any) (idl.Any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		res, err := conn.Query(args[0].Str)
+		if err != nil {
+			return idl.Null(), &orb.UserException{Name: "QueryError", Message: err.Error()}
+		}
+		return res.ToAny(), nil
+	})
+	h.On("exec", func(args []idl.Any) (idl.Any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		res, err := conn.Exec(args[0].Str)
+		if err != nil {
+			return idl.Null(), &orb.UserException{Name: "ExecError", Message: err.Error()}
+		}
+		return res.ToAny(), nil
+	})
+	h.On("meta", func(args []idl.Any) (idl.Any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		m := conn.Meta()
+		return idl.Struct(
+			idl.F("engine", idl.String(m.Engine)),
+			idl.F("database", idl.String(m.Database)),
+			idl.F("model", idl.String(m.Model)),
+		), nil
+	})
+	h.On("tables", func(args []idl.Any) (idl.Any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return idl.Strings(conn.Tables()), nil
+	})
+	return h
+}
+
+// RemoteConn is a gateway connection whose engine lives behind an ISI
+// servant reachable through the ORB. It lets the federation treat remote
+// sources exactly like local ones.
+type RemoteConn struct {
+	ref    *orb.ObjectRef
+	closed bool
+}
+
+// NewRemoteConn wraps an ISI object reference.
+func NewRemoteConn(ref *orb.ObjectRef) *RemoteConn { return &RemoteConn{ref: ref} }
+
+func (c *RemoteConn) check() error {
+	if c.closed {
+		return fmt.Errorf("gateway: remote connection is closed")
+	}
+	return nil
+}
+
+// Query implements Conn.
+func (c *RemoteConn) Query(q string) (*Result, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	a, err := c.ref.Invoke("query", idl.String(q))
+	if err != nil {
+		return nil, remapISIError(err)
+	}
+	return ResultFromAny(a)
+}
+
+// Exec implements Conn.
+func (c *RemoteConn) Exec(q string) (*Result, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	a, err := c.ref.Invoke("exec", idl.String(q))
+	if err != nil {
+		return nil, remapISIError(err)
+	}
+	return ResultFromAny(a)
+}
+
+// Begin is unsupported across the ISI boundary (as in the paper's prototype,
+// remote access is per-statement).
+func (c *RemoteConn) Begin() error {
+	return fmt.Errorf("gateway: remote connections do not support transactions")
+}
+
+// Commit implements Conn.
+func (c *RemoteConn) Commit() error { return c.Begin() }
+
+// Rollback implements Conn.
+func (c *RemoteConn) Rollback() error { return c.Begin() }
+
+// Meta implements Conn by asking the remote side.
+func (c *RemoteConn) Meta() SourceMeta {
+	a, err := c.ref.Invoke("meta")
+	if err != nil {
+		return SourceMeta{Engine: "unreachable"}
+	}
+	return SourceMeta{
+		Engine:   a.GetString("engine"),
+		Database: a.GetString("database"),
+		Model:    a.GetString("model"),
+	}
+}
+
+// Tables implements Conn by asking the remote side.
+func (c *RemoteConn) Tables() []string {
+	a, err := c.ref.Invoke("tables")
+	if err != nil {
+		return nil
+	}
+	return a.StringSlice()
+}
+
+// Close implements Conn.
+func (c *RemoteConn) Close() error {
+	c.closed = true
+	return nil
+}
+
+// remapISIError unwraps ISI user exceptions into plain errors so callers see
+// the engine's message rather than exception plumbing.
+func remapISIError(err error) error {
+	if ue, ok := err.(*orb.UserException); ok {
+		return fmt.Errorf("%s", ue.Message)
+	}
+	return err
+}
+
+// RemoteDriver opens connections to ISI servants via stringified IORs
+// (DSN form "remote://IOR:...").
+type RemoteDriver struct {
+	ORB *orb.ORB
+}
+
+// Open implements Driver.
+func (d *RemoteDriver) Open(name string) (Conn, error) {
+	ref, err := d.ORB.ResolveString(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewRemoteConn(ref), nil
+}
+
+var _ Conn = (*RemoteConn)(nil)
+var _ Driver = (*RemoteDriver)(nil)
+var _ Driver = (*RelationalDriver)(nil)
+var _ Driver = (*ObjectDriver)(nil)

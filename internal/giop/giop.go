@@ -1,0 +1,378 @@
+// Package giop implements the General Inter-ORB Protocol message layer in
+// the GIOP 1.0 style: a fixed 12-byte header ("GIOP" magic, version,
+// byte-order flag, message type, body size) followed by a CDR-encoded body.
+// Carried over TCP this is the Internet Inter-ORB Protocol (IIOP), the
+// interoperability substrate the paper relies on ("any CORBA 2.0 compliant
+// ORB must support IIOP").
+package giop
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/cdr"
+)
+
+// MsgType enumerates GIOP message types.
+type MsgType byte
+
+// GIOP message types (GIOP 1.0 numbering).
+const (
+	MsgRequest MsgType = iota
+	MsgReply
+	MsgCancelRequest
+	MsgLocateRequest
+	MsgLocateReply
+	MsgCloseConnection
+	MsgMessageError
+)
+
+var msgNames = [...]string{
+	"Request", "Reply", "CancelRequest", "LocateRequest",
+	"LocateReply", "CloseConnection", "MessageError",
+}
+
+func (t MsgType) String() string {
+	if int(t) < len(msgNames) {
+		return msgNames[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// ReplyStatus enumerates Reply message statuses.
+type ReplyStatus uint32
+
+// Reply statuses.
+const (
+	ReplyNoException ReplyStatus = iota
+	ReplyUserException
+	ReplySystemException
+	ReplyLocationForward
+)
+
+func (s ReplyStatus) String() string {
+	switch s {
+	case ReplyNoException:
+		return "NO_EXCEPTION"
+	case ReplyUserException:
+		return "USER_EXCEPTION"
+	case ReplySystemException:
+		return "SYSTEM_EXCEPTION"
+	case ReplyLocationForward:
+		return "LOCATION_FORWARD"
+	}
+	return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+}
+
+// LocateStatus enumerates LocateReply statuses.
+type LocateStatus uint32
+
+// Locate statuses.
+const (
+	LocateUnknownObject LocateStatus = iota
+	LocateObjectHere
+	LocateObjectForward
+)
+
+func (s LocateStatus) String() string {
+	switch s {
+	case LocateUnknownObject:
+		return "UNKNOWN_OBJECT"
+	case LocateObjectHere:
+		return "OBJECT_HERE"
+	case LocateObjectForward:
+		return "OBJECT_FORWARD"
+	}
+	return fmt.Sprintf("LocateStatus(%d)", uint32(s))
+}
+
+// HeaderSize is the fixed size of a GIOP message header.
+const HeaderSize = 12
+
+// MaxMessageSize bounds accepted message bodies (16 MiB), protecting servers
+// from hostile or corrupt length fields.
+const MaxMessageSize = 16 << 20
+
+var magic = [4]byte{'G', 'I', 'O', 'P'}
+
+// Version is the GIOP protocol version spoken by this implementation.
+var Version = [2]byte{1, 0}
+
+// Message is one framed GIOP message: the header fields plus the raw body,
+// which is CDR-encoded with alignment origin at the message start.
+type Message struct {
+	Type  MsgType
+	Order cdr.ByteOrder
+	Body  []byte
+}
+
+// BodyDecoder returns a CDR decoder positioned at the start of the body with
+// the correct alignment origin and byte order.
+func (m *Message) BodyDecoder() *cdr.Decoder {
+	return cdr.NewDecoderAt(m.Body, m.Order, HeaderSize)
+}
+
+// NewBodyEncoder returns a CDR encoder suitable for building a message body.
+func NewBodyEncoder(order cdr.ByteOrder) *cdr.Encoder {
+	return cdr.NewEncoderAt(order, HeaderSize)
+}
+
+// Write frames and writes the message. It is not safe for concurrent use on
+// the same writer without external locking.
+func Write(w io.Writer, m *Message) error {
+	if len(m.Body) > MaxMessageSize {
+		return fmt.Errorf("giop: message body %d exceeds limit", len(m.Body))
+	}
+	hdr := make([]byte, HeaderSize)
+	copy(hdr[0:4], magic[:])
+	hdr[4] = Version[0]
+	hdr[5] = Version[1]
+	hdr[6] = byte(m.Order) // flags: bit 0 = byte order
+	hdr[7] = byte(m.Type)
+	putULong(hdr[8:12], uint32(len(m.Body)), m.Order)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("giop: write header: %w", err)
+	}
+	if len(m.Body) > 0 {
+		if _, err := w.Write(m.Body); err != nil {
+			return fmt.Errorf("giop: write body: %w", err)
+		}
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		return bw.Flush()
+	}
+	return nil
+}
+
+// Read reads one framed GIOP message.
+func Read(r io.Reader) (*Message, error) {
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err // io.EOF passes through for clean close detection
+	}
+	if [4]byte(hdr[0:4]) != magic {
+		return nil, fmt.Errorf("giop: bad magic %q", hdr[0:4])
+	}
+	if hdr[4] != Version[0] {
+		return nil, fmt.Errorf("giop: unsupported version %d.%d", hdr[4], hdr[5])
+	}
+	order := cdr.ByteOrder(hdr[6] & 1)
+	m := &Message{Type: MsgType(hdr[7]), Order: order}
+	size := getULong(hdr[8:12], order)
+	if size > MaxMessageSize {
+		return nil, fmt.Errorf("giop: message size %d exceeds limit", size)
+	}
+	if size > 0 {
+		m.Body = make([]byte, size)
+		if _, err := io.ReadFull(r, m.Body); err != nil {
+			return nil, fmt.Errorf("giop: read body: %w", err)
+		}
+	}
+	return m, nil
+}
+
+func putULong(b []byte, v uint32, order cdr.ByteOrder) {
+	if order == cdr.BigEndian {
+		b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	} else {
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+}
+
+func getULong(b []byte, order cdr.ByteOrder) uint32 {
+	if order == cdr.BigEndian {
+		return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+	return uint32(b[3])<<24 | uint32(b[2])<<16 | uint32(b[1])<<8 | uint32(b[0])
+}
+
+// ServiceContext is one entry of a request/reply service context list; the
+// reproduction uses it to carry tracing metadata between layers (the paper's
+// communication layer "mediates requests" — service contexts let us observe
+// that mediation in tests and experiments).
+type ServiceContext struct {
+	ID   uint32
+	Data []byte
+}
+
+// RequestHeader is the GIOP 1.0 Request header.
+type RequestHeader struct {
+	ServiceContext   []ServiceContext
+	RequestID        uint32
+	ResponseExpected bool
+	ObjectKey        []byte
+	Operation        string
+	Principal        []byte
+}
+
+// Marshal appends the header to a body encoder.
+func (h *RequestHeader) Marshal(e *cdr.Encoder) {
+	marshalContexts(e, h.ServiceContext)
+	e.WriteULong(h.RequestID)
+	e.WriteBool(h.ResponseExpected)
+	e.WriteOctets(h.ObjectKey)
+	e.WriteString(h.Operation)
+	e.WriteOctets(h.Principal)
+}
+
+// UnmarshalRequestHeader reads a Request header from a body decoder.
+func UnmarshalRequestHeader(d *cdr.Decoder) (*RequestHeader, error) {
+	var h RequestHeader
+	var err error
+	if h.ServiceContext, err = unmarshalContexts(d); err != nil {
+		return nil, fmt.Errorf("giop: request service context: %w", err)
+	}
+	if h.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	if h.ResponseExpected, err = d.ReadBool(); err != nil {
+		return nil, err
+	}
+	key, err := d.ReadOctets()
+	if err != nil {
+		return nil, err
+	}
+	h.ObjectKey = append([]byte(nil), key...)
+	if h.Operation, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	pr, err := d.ReadOctets()
+	if err != nil {
+		return nil, err
+	}
+	h.Principal = append([]byte(nil), pr...)
+	return &h, nil
+}
+
+// ReplyHeader is the GIOP 1.0 Reply header.
+type ReplyHeader struct {
+	ServiceContext []ServiceContext
+	RequestID      uint32
+	Status         ReplyStatus
+}
+
+// Marshal appends the header to a body encoder.
+func (h *ReplyHeader) Marshal(e *cdr.Encoder) {
+	marshalContexts(e, h.ServiceContext)
+	e.WriteULong(h.RequestID)
+	e.WriteULong(uint32(h.Status))
+}
+
+// UnmarshalReplyHeader reads a Reply header from a body decoder.
+func UnmarshalReplyHeader(d *cdr.Decoder) (*ReplyHeader, error) {
+	var h ReplyHeader
+	var err error
+	if h.ServiceContext, err = unmarshalContexts(d); err != nil {
+		return nil, fmt.Errorf("giop: reply service context: %w", err)
+	}
+	if h.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	status, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	h.Status = ReplyStatus(status)
+	return &h, nil
+}
+
+// LocateRequestHeader is the GIOP LocateRequest body.
+type LocateRequestHeader struct {
+	RequestID uint32
+	ObjectKey []byte
+}
+
+// Marshal appends the header to a body encoder.
+func (h *LocateRequestHeader) Marshal(e *cdr.Encoder) {
+	e.WriteULong(h.RequestID)
+	e.WriteOctets(h.ObjectKey)
+}
+
+// UnmarshalLocateRequest reads a LocateRequest body.
+func UnmarshalLocateRequest(d *cdr.Decoder) (*LocateRequestHeader, error) {
+	var h LocateRequestHeader
+	var err error
+	if h.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	key, err := d.ReadOctets()
+	if err != nil {
+		return nil, err
+	}
+	h.ObjectKey = append([]byte(nil), key...)
+	return &h, nil
+}
+
+// LocateReplyHeader is the GIOP LocateReply body.
+type LocateReplyHeader struct {
+	RequestID uint32
+	Status    LocateStatus
+}
+
+// Marshal appends the header to a body encoder.
+func (h *LocateReplyHeader) Marshal(e *cdr.Encoder) {
+	e.WriteULong(h.RequestID)
+	e.WriteULong(uint32(h.Status))
+}
+
+// UnmarshalLocateReply reads a LocateReply body.
+func UnmarshalLocateReply(d *cdr.Decoder) (*LocateReplyHeader, error) {
+	var h LocateReplyHeader
+	var err error
+	if h.RequestID, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	status, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	h.Status = LocateStatus(status)
+	return &h, nil
+}
+
+// CancelRequestHeader is the GIOP CancelRequest body.
+type CancelRequestHeader struct {
+	RequestID uint32
+}
+
+// Marshal appends the header to a body encoder.
+func (h *CancelRequestHeader) Marshal(e *cdr.Encoder) { e.WriteULong(h.RequestID) }
+
+// UnmarshalCancelRequest reads a CancelRequest body.
+func UnmarshalCancelRequest(d *cdr.Decoder) (*CancelRequestHeader, error) {
+	id, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	return &CancelRequestHeader{RequestID: id}, nil
+}
+
+func marshalContexts(e *cdr.Encoder, ctxs []ServiceContext) {
+	e.WriteULong(uint32(len(ctxs)))
+	for _, c := range ctxs {
+		e.WriteULong(c.ID)
+		e.WriteOctets(c.Data)
+	}
+}
+
+func unmarshalContexts(d *cdr.Decoder) ([]ServiceContext, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	ctxs := make([]ServiceContext, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var c ServiceContext
+		if c.ID, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		data, err := d.ReadOctets()
+		if err != nil {
+			return nil, err
+		}
+		c.Data = append([]byte(nil), data...)
+		ctxs = append(ctxs, c)
+	}
+	return ctxs, nil
+}

@@ -1,0 +1,319 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a source text containing an IDL subset and returns the
+// interfaces it declares. The subset covers what the reproduction needs:
+//
+//	module M {                       // optional, may nest; names join with "/"
+//	    interface Name {
+//	        string op(in string a, in long b);
+//	        oneway void ping();
+//	        sequence<any> rows(in string sql);
+//	    };
+//	};
+//
+// Supported types: void, boolean, octet, short, long, float, double, string,
+// any, "unsigned short/long", "long long", "unsigned long long",
+// sequence<octet> and sequence<any>. Comments use // and /* */.
+func Parse(src string) ([]*Interface, error) {
+	p := &idlParser{toks: lexIDL(src)}
+	var out []*Interface
+	for !p.eof() {
+		ifaces, err := p.parseTopLevel("")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ifaces...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("idl: no interface declarations found")
+	}
+	return out, nil
+}
+
+// MustParse is Parse that panics on error; for package-level IDL constants.
+func MustParse(src string) []*Interface {
+	ifaces, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return ifaces
+}
+
+type idlTok struct {
+	kind string // "ident", "punct", "eof"
+	text string
+	pos  int
+}
+
+func lexIDL(src string) []idlTok {
+	var toks []idlTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				i = len(src)
+			} else {
+				i += 2 + end + 2
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case isIDLIdentStart(c):
+			start := i
+			for i < len(src) && isIDLIdentPart(src[i]) {
+				i++
+			}
+			toks = append(toks, idlTok{"ident", src[start:i], start})
+		default:
+			toks = append(toks, idlTok{"punct", string(c), i})
+			i++
+		}
+	}
+	toks = append(toks, idlTok{kind: "eof", pos: len(src)})
+	return toks
+}
+
+func isIDLIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIDLIdentPart(c byte) bool {
+	return isIDLIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+type idlParser struct {
+	toks []idlTok
+	pos  int
+}
+
+func (p *idlParser) eof() bool { return p.toks[p.pos].kind == "eof" }
+
+func (p *idlParser) peek() idlTok { return p.toks[p.pos] }
+
+func (p *idlParser) next() idlTok {
+	t := p.toks[p.pos]
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *idlParser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("idl: expected %q at offset %d, got %q", text, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *idlParser) parseTopLevel(prefix string) ([]*Interface, error) {
+	t := p.peek()
+	switch t.text {
+	case "module":
+		p.next()
+		name := p.next()
+		if name.kind != "ident" {
+			return nil, fmt.Errorf("idl: expected module name at offset %d", name.pos)
+		}
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		full := name.text
+		if prefix != "" {
+			full = prefix + "/" + name.text
+		}
+		var out []*Interface
+		for p.peek().text != "}" {
+			if p.eof() {
+				return nil, fmt.Errorf("idl: unterminated module %s", full)
+			}
+			ifaces, err := p.parseTopLevel(full)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ifaces...)
+		}
+		p.next() // }
+		if p.peek().text == ";" {
+			p.next()
+		}
+		return out, nil
+	case "interface":
+		iface, err := p.parseInterface(prefix)
+		if err != nil {
+			return nil, err
+		}
+		return []*Interface{iface}, nil
+	default:
+		return nil, fmt.Errorf("idl: unexpected token %q at offset %d", t.text, t.pos)
+	}
+}
+
+func (p *idlParser) parseInterface(prefix string) (*Interface, error) {
+	if err := p.expect("interface"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.kind != "ident" {
+		return nil, fmt.Errorf("idl: expected interface name at offset %d", name.pos)
+	}
+	full := name.text
+	if prefix != "" {
+		full = prefix + "/" + name.text
+	}
+	iface := NewInterface(full)
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for p.peek().text != "}" {
+		if p.eof() {
+			return nil, fmt.Errorf("idl: unterminated interface %s", full)
+		}
+		op, err := p.parseOperation()
+		if err != nil {
+			return nil, fmt.Errorf("idl: interface %s: %w", full, err)
+		}
+		iface.Ops[op.Name] = op
+	}
+	p.next() // }
+	if p.peek().text == ";" {
+		p.next()
+	}
+	return iface, nil
+}
+
+func (p *idlParser) parseOperation() (*Operation, error) {
+	op := &Operation{}
+	if p.peek().text == "oneway" {
+		p.next()
+		op.Oneway = true
+	}
+	result, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	op.Result = result
+	nameTok := p.next()
+	if nameTok.kind != "ident" {
+		return nil, fmt.Errorf("expected operation name at offset %d, got %q", nameTok.pos, nameTok.text)
+	}
+	op.Name = nameTok.text
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peek().text != ")" {
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, fmt.Errorf("operation %s: %w", op.Name, err)
+		}
+		op.Params = append(op.Params, param)
+		if p.peek().text == "," {
+			p.next()
+		}
+	}
+	p.next() // )
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if op.Oneway && op.Result != KindVoid {
+		return nil, fmt.Errorf("operation %s: oneway operations must return void", op.Name)
+	}
+	return op, nil
+}
+
+func (p *idlParser) parseParam() (Param, error) {
+	var param Param
+	switch p.peek().text {
+	case "in":
+		param.Dir = In
+		p.next()
+	case "out":
+		param.Dir = Out
+		p.next()
+	case "inout":
+		param.Dir = InOut
+		p.next()
+	default:
+		return param, fmt.Errorf("expected parameter direction at offset %d, got %q", p.peek().pos, p.peek().text)
+	}
+	kind, err := p.parseType()
+	if err != nil {
+		return param, err
+	}
+	param.Kind = kind
+	nameTok := p.next()
+	if nameTok.kind != "ident" {
+		return param, fmt.Errorf("expected parameter name at offset %d, got %q", nameTok.pos, nameTok.text)
+	}
+	param.Name = nameTok.text
+	return param, nil
+}
+
+func (p *idlParser) parseType() (Kind, error) {
+	t := p.next()
+	switch t.text {
+	case "void":
+		return KindVoid, nil
+	case "boolean":
+		return KindBool, nil
+	case "octet":
+		return KindOctet, nil
+	case "short":
+		return KindShort, nil
+	case "float":
+		return KindFloat, nil
+	case "double":
+		return KindDouble, nil
+	case "string":
+		return KindString, nil
+	case "any":
+		return KindAny, nil
+	case "long":
+		if p.peek().text == "long" {
+			p.next()
+			return KindLongLong, nil
+		}
+		return KindLong, nil
+	case "unsigned":
+		u := p.next()
+		switch u.text {
+		case "short":
+			return KindUShort, nil
+		case "long":
+			if p.peek().text == "long" {
+				p.next()
+				return KindULongLong, nil
+			}
+			return KindULong, nil
+		}
+		return 0, fmt.Errorf("invalid type \"unsigned %s\" at offset %d", u.text, u.pos)
+	case "sequence":
+		if err := p.expect("<"); err != nil {
+			return 0, err
+		}
+		elem := p.next()
+		if err := p.expect(">"); err != nil {
+			return 0, err
+		}
+		switch elem.text {
+		case "octet":
+			return KindOctets, nil
+		case "any":
+			return KindSeq, nil
+		}
+		return 0, fmt.Errorf("unsupported sequence element %q at offset %d", elem.text, elem.pos)
+	}
+	return 0, fmt.Errorf("unknown type %q at offset %d", t.text, t.pos)
+}

@@ -1,0 +1,152 @@
+package naming
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/orb"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Bind("WebFINDIT/CoDatabases/RBH", "IOR:00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Bind("WebFINDIT/CoDatabases/RBH", "IOR:11"); err == nil {
+		t.Error("double bind accepted")
+	}
+	if err := r.Rebind("WebFINDIT/CoDatabases/RBH", "IOR:22"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Resolve("WebFINDIT/CoDatabases/RBH")
+	if err != nil || got != "IOR:22" {
+		t.Errorf("Resolve = %q, %v", got, err)
+	}
+	if _, err := r.Resolve("missing"); err == nil {
+		t.Error("missing resolve succeeded")
+	}
+	if err := r.Unbind("WebFINDIT/CoDatabases/RBH"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unbind("WebFINDIT/CoDatabases/RBH"); err == nil {
+		t.Error("double unbind accepted")
+	}
+}
+
+func TestRegistryListPrefix(t *testing.T) {
+	r := NewRegistry()
+	names := []string{
+		"WebFINDIT/CoDatabases/RBH",
+		"WebFINDIT/CoDatabases/QUT",
+		"WebFINDIT/Databases/RBH",
+	}
+	for i, n := range names {
+		if err := r.Bind(n, fmt.Sprintf("IOR:%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.List("WebFINDIT/CoDatabases/")
+	if len(got) != 2 || got[0] != "WebFINDIT/CoDatabases/QUT" {
+		t.Errorf("List = %v", got)
+	}
+	if all := r.List(""); len(all) != 3 {
+		t.Errorf("List all = %v", all)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "/x", "x/", "a//b"} {
+		if err := r.Bind(bad, "IOR:00"); err == nil {
+			t.Errorf("bad name %q accepted", bad)
+		}
+	}
+}
+
+func TestNamingOverIIOP(t *testing.T) {
+	server := orb.New(orb.Options{Product: orb.Orbix, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	reg, _, err := Serve(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := orb.New(orb.Options{Product: orb.VisiBroker, DisableColocation: true})
+	defer client.Shutdown()
+	nc, err := ClientFor(client, server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Bind("Services/Echo", "IOR:deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nc.Resolve("Services/Echo")
+	if err != nil || got != "IOR:deadbeef" {
+		t.Errorf("Resolve over wire = %q, %v", got, err)
+	}
+	// The server-side registry observed the binding.
+	if reg.Len() != 1 {
+		t.Errorf("registry len = %d", reg.Len())
+	}
+	// NotFound surfaces as a typed user exception.
+	_, err = nc.Resolve("Services/Missing")
+	ue, ok := err.(*orb.UserException)
+	if !ok || ue.Name != "NotFound" {
+		t.Errorf("missing resolve error = %v", err)
+	}
+	if err := nc.Bind("Services/Echo", "IOR:other"); err == nil {
+		t.Error("double bind over wire accepted")
+	}
+	if err := nc.Rebind("Services/Echo", "IOR:other"); err != nil {
+		t.Error(err)
+	}
+	names, err := nc.List("Services/")
+	if err != nil || len(names) != 1 {
+		t.Errorf("List over wire = %v, %v", names, err)
+	}
+	if err := nc.Unbind("Services/Echo"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResolveRef(t *testing.T) {
+	server := orb.New(orb.Options{Product: orb.Orbix})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	if _, _, err := Serve(server); err != nil {
+		t.Fatal(err)
+	}
+	nc, err := ClientFor(server, server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ior := &orb.IOR{RepoID: "IDL:X:1.0", Host: "127.0.0.1", Port: 1, ObjectKey: []byte("x")}
+	if err := nc.Bind("X", orb.Stringify(ior)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := nc.ResolveRef(server, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.IOR().Equal(ior) {
+		t.Errorf("ResolveRef IOR mismatch: %+v", ref.IOR())
+	}
+}
+
+func TestClientForBadAddr(t *testing.T) {
+	o := orb.New(orb.Options{})
+	if _, err := ClientFor(o, "nohost"); err == nil {
+		t.Error("address without port accepted")
+	}
+	if _, err := ClientFor(o, "host:notaport"); err == nil {
+		t.Error("bad port accepted")
+	}
+}

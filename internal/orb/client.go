@@ -1,0 +1,261 @@
+package orb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/giop"
+	"repro/internal/idl"
+)
+
+// ObjectRef is a client-side reference to a remote (or colocated) object. It
+// is the reproduction's equivalent of a CORBA stub: calls are marshalled to
+// GIOP requests unless the target adapter lives in the same process, in
+// which case dispatch is direct (the paper's in-process C++/JNI bridge
+// analogue).
+type ObjectRef struct {
+	orb *ORB
+	ior *IOR
+}
+
+// IOR returns the reference's IOR.
+func (r *ObjectRef) IOR() *IOR { return r.ior }
+
+// Invoke performs a synchronous request and returns the result value.
+func (r *ObjectRef) Invoke(op string, args ...idl.Any) (idl.Any, error) {
+	if target, ok := r.orb.colocatedTarget(r.ior.Addr()); ok {
+		r.orb.Stats.ColocatedCalls.Add(1)
+		return target.dispatch(r.ior.Key(), op, args)
+	}
+	r.orb.Stats.IIOPCalls.Add(1)
+	return r.orb.pool.roundTrip(r.ior, op, args, true)
+}
+
+// InvokeOneway performs a fire-and-forget request (no reply is read).
+func (r *ObjectRef) InvokeOneway(op string, args ...idl.Any) error {
+	if target, ok := r.orb.colocatedTarget(r.ior.Addr()); ok {
+		r.orb.Stats.ColocatedCalls.Add(1)
+		_, err := target.dispatch(r.ior.Key(), op, args)
+		return err
+	}
+	r.orb.Stats.IIOPCalls.Add(1)
+	_, err := r.orb.pool.roundTrip(r.ior, op, args, false)
+	return err
+}
+
+// Locate asks the target adapter whether the object exists, using a GIOP
+// LocateRequest.
+func (r *ObjectRef) Locate() (bool, error) {
+	if target, ok := r.orb.colocatedTarget(r.ior.Addr()); ok {
+		_, found := target.lookupServant(r.ior.Key())
+		return found, nil
+	}
+	return r.orb.pool.locate(r.ior)
+}
+
+// clientConn is one pooled outbound IIOP connection.
+type clientConn struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint32
+}
+
+// connPool manages outbound connections keyed by endpoint. A connection is
+// held exclusively for the duration of one request/reply exchange (GIOP 1.0
+// style); concurrent calls to the same endpoint use additional connections.
+type connPool struct {
+	orb  *ORB
+	mu   sync.Mutex
+	idle map[string][]*clientConn
+}
+
+func newConnPool(o *ORB) *connPool {
+	return &connPool{orb: o, idle: make(map[string][]*clientConn)}
+}
+
+func (p *connPool) get(addr string) (*clientConn, error) {
+	p.mu.Lock()
+	conns := p.idle[addr]
+	if n := len(conns); n > 0 {
+		c := conns[n-1]
+		p.idle[addr] = conns[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, &SystemException{Name: ExcCommFailure, Detail: fmt.Sprintf("dial %s: %v", addr, err)}
+	}
+	return &clientConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+}
+
+func (p *connPool) put(addr string, c *clientConn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.idle[addr]) >= 8 {
+		c.nc.Close()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], c)
+}
+
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for addr, conns := range p.idle {
+		for _, c := range conns {
+			c.nc.Close()
+		}
+		delete(p.idle, addr)
+	}
+}
+
+// roundTrip sends one GIOP Request and (when expectReply) reads the Reply.
+func (p *connPool) roundTrip(ior *IOR, op string, args []idl.Any, expectReply bool) (idl.Any, error) {
+	addr := ior.Addr()
+	c, err := p.get(addr)
+	if err != nil {
+		return idl.Null(), err
+	}
+	result, err := p.exchange(c, ior, op, args, expectReply)
+	if err != nil {
+		// Connection-level failures poison the conn; exceptions do not.
+		if _, isUser := err.(*UserException); isUser {
+			p.put(addr, c)
+			return idl.Null(), err
+		}
+		if se, isSys := err.(*SystemException); isSys && se.Name != ExcCommFailure && se.Name != ExcMarshal {
+			p.put(addr, c)
+			return idl.Null(), err
+		}
+		c.nc.Close()
+		return idl.Null(), err
+	}
+	p.put(addr, c)
+	return result, nil
+}
+
+func (p *connPool) exchange(c *clientConn, ior *IOR, op string, args []idl.Any, expectReply bool) (idl.Any, error) {
+	if d := p.orb.opts.CallTimeout; d > 0 {
+		if err := c.nc.SetDeadline(time.Now().Add(d)); err == nil {
+			defer c.nc.SetDeadline(time.Time{})
+		}
+	}
+	c.nextID++
+	reqID := c.nextID
+	order := p.orb.wireOrder()
+	e := giop.NewBodyEncoder(order)
+	hdr := giop.RequestHeader{
+		RequestID:        reqID,
+		ResponseExpected: expectReply,
+		ObjectKey:        ior.ObjectKey,
+		Operation:        op,
+		Principal:        []byte(p.orb.opts.Product),
+	}
+	hdr.Marshal(e)
+	idl.MarshalAnys(e, args)
+	msg := &giop.Message{Type: giop.MsgRequest, Order: order, Body: e.Bytes()}
+	p.orb.Stats.BytesSent.Add(int64(len(msg.Body) + giop.HeaderSize))
+	if err := giop.Write(c.bw, msg); err != nil {
+		return idl.Null(), &SystemException{Name: ExcCommFailure, Detail: err.Error()}
+	}
+	if !expectReply {
+		return idl.Null(), nil
+	}
+
+	reply, err := giop.Read(c.br)
+	if err != nil {
+		return idl.Null(), &SystemException{Name: ExcCommFailure, Detail: "read reply: " + err.Error()}
+	}
+	p.orb.Stats.BytesReceived.Add(int64(len(reply.Body) + giop.HeaderSize))
+	if reply.Type == giop.MsgMessageError {
+		return idl.Null(), &SystemException{Name: ExcCommFailure, Detail: "peer reported message error"}
+	}
+	if reply.Type != giop.MsgReply {
+		return idl.Null(), &SystemException{Name: ExcCommFailure, Detail: "unexpected " + reply.Type.String()}
+	}
+	d := reply.BodyDecoder()
+	rh, err := giop.UnmarshalReplyHeader(d)
+	if err != nil {
+		return idl.Null(), &SystemException{Name: ExcMarshal, Detail: err.Error()}
+	}
+	if rh.RequestID != reqID {
+		return idl.Null(), &SystemException{Name: ExcCommFailure,
+			Detail: fmt.Sprintf("reply id %d for request %d", rh.RequestID, reqID)}
+	}
+	switch rh.Status {
+	case giop.ReplyNoException:
+		result, err := idl.UnmarshalAny(d)
+		if err != nil {
+			return idl.Null(), &SystemException{Name: ExcMarshal, Detail: err.Error()}
+		}
+		return result, nil
+	case giop.ReplyUserException:
+		name, err1 := d.ReadString()
+		message, err2 := d.ReadString()
+		if err1 != nil || err2 != nil {
+			return idl.Null(), &SystemException{Name: ExcMarshal, Detail: "bad user exception body"}
+		}
+		return idl.Null(), &UserException{Name: name, Message: message}
+	case giop.ReplySystemException:
+		name, err1 := d.ReadString()
+		minor, err2 := d.ReadULong()
+		detail, err3 := d.ReadString()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return idl.Null(), &SystemException{Name: ExcMarshal, Detail: "bad system exception body"}
+		}
+		return idl.Null(), &SystemException{Name: name, Minor: minor, Detail: detail}
+	default:
+		return idl.Null(), &SystemException{Name: ExcCommFailure,
+			Detail: "unsupported reply status " + rh.Status.String()}
+	}
+}
+
+// locate performs a GIOP LocateRequest round trip.
+func (p *connPool) locate(ior *IOR) (bool, error) {
+	addr := ior.Addr()
+	c, err := p.get(addr)
+	if err != nil {
+		return false, err
+	}
+	ok, err := p.locateOn(c, ior)
+	if err != nil {
+		c.nc.Close()
+		return false, err
+	}
+	p.put(addr, c)
+	return ok, nil
+}
+
+func (p *connPool) locateOn(c *clientConn, ior *IOR) (bool, error) {
+	if d := p.orb.opts.CallTimeout; d > 0 {
+		if err := c.nc.SetDeadline(time.Now().Add(d)); err == nil {
+			defer c.nc.SetDeadline(time.Time{})
+		}
+	}
+	c.nextID++
+	order := p.orb.wireOrder()
+	e := giop.NewBodyEncoder(order)
+	(&giop.LocateRequestHeader{RequestID: c.nextID, ObjectKey: ior.ObjectKey}).Marshal(e)
+	msg := &giop.Message{Type: giop.MsgLocateRequest, Order: order, Body: e.Bytes()}
+	if err := giop.Write(c.bw, msg); err != nil {
+		return false, &SystemException{Name: ExcCommFailure, Detail: err.Error()}
+	}
+	reply, err := giop.Read(c.br)
+	if err != nil {
+		return false, &SystemException{Name: ExcCommFailure, Detail: err.Error()}
+	}
+	if reply.Type != giop.MsgLocateReply {
+		return false, &SystemException{Name: ExcCommFailure, Detail: "unexpected " + reply.Type.String()}
+	}
+	lr, err := giop.UnmarshalLocateReply(reply.BodyDecoder())
+	if err != nil {
+		return false, &SystemException{Name: ExcMarshal, Detail: err.Error()}
+	}
+	return lr.Status == giop.LocateObjectHere, nil
+}

@@ -1,0 +1,146 @@
+package orb
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/idl"
+)
+
+// TestLittleEndianClientInterop proves receiver-makes-right: a client ORB
+// emitting little-endian CDR talks to a (big-endian-replying) server and
+// everything round-trips, including exceptions.
+func TestLittleEndianClientInterop(t *testing.T) {
+	server := New(Options{Product: Orbix, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	ior, err := server.Activate("Echo", newEchoServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := New(Options{Product: VisiBroker, DisableColocation: true, LittleEndian: true})
+	defer client.Shutdown()
+	ref := client.Resolve(ior)
+
+	got, err := ref.Invoke("echo", idl.String("little-endian says hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Str != "little-endian says hi" {
+		t.Errorf("echo = %s", got)
+	}
+	sum, err := ref.Invoke("add", idl.Long(-5), idl.Long(12))
+	if err != nil || sum.Int != 7 {
+		t.Errorf("add = %v, %v", sum, err)
+	}
+	// Exceptions survive the mixed-order path.
+	_, err = ref.Invoke("fail", idl.String("user"))
+	if ue, ok := err.(*UserException); !ok || ue.Name != "NotFound" {
+		t.Errorf("LE user exception = %v", err)
+	}
+	// Locate too.
+	found, err := ref.Locate()
+	if err != nil || !found {
+		t.Errorf("LE locate = %t, %v", found, err)
+	}
+}
+
+// TestServerDownFailureSurface covers the failure mode the paper's dynamic
+// environment implies: a source vanishes, and clients get a typed
+// COMM_FAILURE rather than a hang or panic.
+func TestServerDownFailureSurface(t *testing.T) {
+	server := New(Options{Product: Orbix, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ior, _ := server.Activate("Echo", newEchoServant())
+	client := New(Options{Product: OrbixWeb, DisableColocation: true})
+	defer client.Shutdown()
+	ref := client.Resolve(ior)
+	if _, err := ref.Invoke("echo", idl.String("warm")); err != nil {
+		t.Fatal(err)
+	}
+	server.Shutdown()
+
+	_, err := ref.Invoke("echo", idl.String("cold"))
+	se, ok := err.(*SystemException)
+	if !ok || se.Name != ExcCommFailure {
+		t.Fatalf("post-shutdown error = %v", err)
+	}
+	if !strings.Contains(se.Error(), "COMM_FAILURE") {
+		t.Errorf("error text = %v", se)
+	}
+	if _, err := ref.Locate(); err == nil {
+		t.Error("locate after shutdown succeeded")
+	}
+}
+
+// TestConnectionReuseAcrossInvocations checks the pool actually reuses
+// connections for sequential calls (one conn, many requests).
+func TestConnectionReuseAcrossInvocations(t *testing.T) {
+	server := New(Options{Product: Orbix, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	ior, _ := server.Activate("Echo", newEchoServant())
+	client := New(Options{Product: VisiBroker, DisableColocation: true})
+	defer client.Shutdown()
+	ref := client.Resolve(ior)
+	for i := 0; i < 20; i++ {
+		if _, err := ref.Invoke("echo", idl.String("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sequential calls should never need more than one server connection
+	// (plus the accept-loop bookkeeping already torn down).
+	if n := server.Stats.ActiveConns.Load(); n > 1 {
+		t.Errorf("server sees %d active conns for sequential calls", n)
+	}
+	if served := server.Stats.RequestsServed.Load(); served != 20 {
+		t.Errorf("served = %d", served)
+	}
+}
+
+// TestCallTimeout bounds a call against a slow servant: the client gets a
+// COMM_FAILURE instead of hanging, and subsequent calls on a fresh
+// connection still work.
+func TestCallTimeout(t *testing.T) {
+	server := New(Options{Product: Orbix, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	iface := idl.MustParse("interface Slow { string sleep(in string d); string fast(in string s); };")[0]
+	h := NewHandler(iface)
+	h.On("sleep", func(args []idl.Any) (idl.Any, error) {
+		d, _ := time.ParseDuration(args[0].Str)
+		time.Sleep(d)
+		return idl.String("done"), nil
+	})
+	h.On("fast", func(args []idl.Any) (idl.Any, error) { return args[0], nil })
+	ior, _ := server.Activate("Slow", h)
+
+	client := New(Options{Product: VisiBroker, DisableColocation: true, CallTimeout: 100 * time.Millisecond})
+	defer client.Shutdown()
+	ref := client.Resolve(ior)
+
+	start := time.Now()
+	_, err := ref.Invoke("sleep", idl.String("2s"))
+	se, ok := err.(*SystemException)
+	if !ok || se.Name != ExcCommFailure {
+		t.Fatalf("timeout error = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+	// The pool discards the poisoned connection; a new call succeeds.
+	got, err := ref.Invoke("fast", idl.String("still alive"))
+	if err != nil || got.Str != "still alive" {
+		t.Errorf("post-timeout call: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,130 @@
+package orb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/idl"
+)
+
+// Servant is an object implementation hosted by an object adapter. Invoke
+// receives the operation name and the CDR-decoded in-parameters and returns
+// the result value. Returning a *UserException produces a USER_EXCEPTION
+// reply; any other error produces a SYSTEM_EXCEPTION.
+type Servant interface {
+	InterfaceDef() *idl.Interface
+	Invoke(op string, args []idl.Any) (idl.Any, error)
+}
+
+// UserException is an application-level exception that crosses the wire as a
+// GIOP USER_EXCEPTION reply and is reconstructed on the client side.
+type UserException struct {
+	Name    string // exception identifier, e.g. "NotFound"
+	Message string
+}
+
+// Error implements the error interface.
+func (e *UserException) Error() string {
+	return fmt.Sprintf("%s: %s", e.Name, e.Message)
+}
+
+// Userf builds a UserException with a formatted message.
+func Userf(name, format string, args ...any) *UserException {
+	return &UserException{Name: name, Message: fmt.Sprintf(format, args...)}
+}
+
+// SystemException is an ORB-level failure: unknown object, unknown
+// operation, transport failure, or an unclassified servant error.
+type SystemException struct {
+	Name   string // e.g. "OBJECT_NOT_EXIST", "BAD_OPERATION", "COMM_FAILURE"
+	Minor  uint32
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *SystemException) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%s (minor %d): %s", e.Name, e.Minor, e.Detail)
+	}
+	return fmt.Sprintf("%s (minor %d)", e.Name, e.Minor)
+}
+
+// Well-known system exception names.
+const (
+	ExcObjectNotExist = "OBJECT_NOT_EXIST"
+	ExcBadOperation   = "BAD_OPERATION"
+	ExcCommFailure    = "COMM_FAILURE"
+	ExcMarshal        = "MARSHAL"
+	ExcUnknown        = "UNKNOWN"
+	ExcBadParam       = "BAD_PARAM"
+)
+
+// OpFunc is the handler signature used by Handler servants.
+type OpFunc func(args []idl.Any) (idl.Any, error)
+
+// Handler is a map-based Servant: operations are registered as closures
+// against an interface definition. It is the reproduction's equivalent of an
+// IDL-generated skeleton.
+type Handler struct {
+	iface *idl.Interface
+	mu    sync.RWMutex
+	ops   map[string]OpFunc
+}
+
+// NewHandler creates a Handler servant for the given interface.
+func NewHandler(iface *idl.Interface) *Handler {
+	return &Handler{iface: iface, ops: make(map[string]OpFunc)}
+}
+
+// On registers the implementation of an operation. It panics if the
+// operation is not part of the interface, catching skeleton/interface drift
+// at construction time rather than at invocation time.
+func (h *Handler) On(op string, fn OpFunc) *Handler {
+	if _, err := h.iface.Op(op); err != nil {
+		panic(fmt.Sprintf("orb: Handler.On: %v", err))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ops[op] = fn
+	return h
+}
+
+// InterfaceDef implements Servant.
+func (h *Handler) InterfaceDef() *idl.Interface { return h.iface }
+
+// Invoke implements Servant.
+func (h *Handler) Invoke(op string, args []idl.Any) (idl.Any, error) {
+	def, err := h.iface.Op(op)
+	if err != nil {
+		return idl.Null(), &SystemException{Name: ExcBadOperation, Detail: err.Error()}
+	}
+	if want := def.InCount(); len(args) != want {
+		return idl.Null(), &SystemException{
+			Name:   ExcBadParam,
+			Detail: fmt.Sprintf("operation %s expects %d in-params, got %d", op, want, len(args)),
+		}
+	}
+	h.mu.RLock()
+	fn, ok := h.ops[op]
+	h.mu.RUnlock()
+	if !ok {
+		return idl.Null(), &SystemException{
+			Name:   ExcBadOperation,
+			Detail: fmt.Sprintf("operation %s declared but not implemented", op),
+		}
+	}
+	return fn(args)
+}
+
+// Implemented lists the operations with registered handlers, sorted.
+func (h *Handler) Implemented() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	names := make([]string, 0, len(h.ops))
+	for n := range h.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,180 @@
+package orb
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+
+	"repro/internal/cdr"
+	"repro/internal/giop"
+	"repro/internal/idl"
+)
+
+// acceptLoop accepts IIOP connections until the listener closes.
+func (o *ORB) acceptLoop(ln net.Listener) {
+	defer o.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-o.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			o.Stats.ProtocolErrors.Add(1)
+			continue
+		}
+		o.Stats.ActiveConns.Add(1)
+		o.wg.Add(1)
+		go o.serveConn(nc)
+	}
+}
+
+// serveConn handles one inbound IIOP connection: it reads GIOP messages and
+// dispatches requests to servants. Requests on a connection are served
+// sequentially (GIOP 1.0 semantics); concurrency comes from multiple
+// connections.
+func (o *ORB) serveConn(nc net.Conn) {
+	defer o.wg.Done()
+	defer o.Stats.ActiveConns.Add(-1)
+	defer nc.Close()
+
+	// Close the socket when the ORB shuts down so the read loop unblocks.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-o.closed:
+			nc.Close()
+		case <-done:
+		}
+	}()
+
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	for {
+		msg, err := giop.Read(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				o.Stats.ProtocolErrors.Add(1)
+			}
+			return
+		}
+		o.Stats.BytesReceived.Add(int64(len(msg.Body) + giop.HeaderSize))
+		switch msg.Type {
+		case giop.MsgRequest:
+			if !o.handleRequest(bw, msg) {
+				return
+			}
+		case giop.MsgLocateRequest:
+			if !o.handleLocate(bw, msg) {
+				return
+			}
+		case giop.MsgCancelRequest:
+			// Requests are served synchronously, so by the time a cancel
+			// arrives the request is finished; GIOP permits ignoring it.
+		case giop.MsgCloseConnection:
+			return
+		default:
+			o.Stats.ProtocolErrors.Add(1)
+			errMsg := &giop.Message{Type: giop.MsgMessageError, Order: cdr.BigEndian}
+			if writeErr := giop.Write(bw, errMsg); writeErr != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleRequest dispatches one GIOP Request and writes the Reply. It reports
+// whether the connection should stay open.
+func (o *ORB) handleRequest(w *bufio.Writer, msg *giop.Message) bool {
+	d := msg.BodyDecoder()
+	hdr, err := giop.UnmarshalRequestHeader(d)
+	if err != nil {
+		o.Stats.ProtocolErrors.Add(1)
+		return giop.Write(w, &giop.Message{Type: giop.MsgMessageError, Order: msg.Order}) == nil
+	}
+	args, err := idl.UnmarshalAnys(d)
+	if err != nil {
+		return o.writeReply(w, msg.Order, hdr, idl.Null(),
+			&SystemException{Name: ExcMarshal, Detail: err.Error()}) == nil
+	}
+
+	result, invErr := o.dispatch(string(hdr.ObjectKey), hdr.Operation, args)
+	if !hdr.ResponseExpected {
+		o.Stats.OnewayRequests.Add(1)
+		return true
+	}
+	return o.writeReply(w, msg.Order, hdr, result, invErr) == nil
+}
+
+// dispatch runs the servant invocation for an object key; it is used both by
+// the socket path and the colocation fast path so behaviour is identical.
+func (o *ORB) dispatch(key, op string, args []idl.Any) (idl.Any, error) {
+	s, ok := o.lookupServant(key)
+	if !ok {
+		return idl.Null(), &SystemException{Name: ExcObjectNotExist, Detail: "object key " + key}
+	}
+	o.Stats.RequestsServed.Add(1)
+	return s.Invoke(op, args)
+}
+
+// writeReply encodes the reply for a completed invocation.
+func (o *ORB) writeReply(w *bufio.Writer, order cdr.ByteOrder, req *giop.RequestHeader, result idl.Any, invErr error) error {
+	e := giop.NewBodyEncoder(order)
+	rh := giop.ReplyHeader{RequestID: req.RequestID}
+	switch err := invErr.(type) {
+	case nil:
+		rh.Status = giop.ReplyNoException
+		rh.Marshal(e)
+		result.Marshal(e)
+	case *UserException:
+		o.Stats.UserExceptions.Add(1)
+		rh.Status = giop.ReplyUserException
+		rh.Marshal(e)
+		e.WriteString(err.Name)
+		e.WriteString(err.Message)
+	case *SystemException:
+		o.Stats.SysExceptions.Add(1)
+		rh.Status = giop.ReplySystemException
+		rh.Marshal(e)
+		e.WriteString(err.Name)
+		e.WriteULong(err.Minor)
+		e.WriteString(err.Detail)
+	default:
+		// Unclassified servant error: surfaces as UNKNOWN, like real ORBs.
+		o.Stats.SysExceptions.Add(1)
+		rh.Status = giop.ReplySystemException
+		rh.Marshal(e)
+		e.WriteString(ExcUnknown)
+		e.WriteULong(0)
+		e.WriteString(invErr.Error())
+	}
+	out := &giop.Message{Type: giop.MsgReply, Order: order, Body: e.Bytes()}
+	o.Stats.BytesSent.Add(int64(len(out.Body) + giop.HeaderSize))
+	return giop.Write(w, out)
+}
+
+// handleLocate answers a GIOP LocateRequest.
+func (o *ORB) handleLocate(w *bufio.Writer, msg *giop.Message) bool {
+	o.Stats.LocateRequests.Add(1)
+	d := msg.BodyDecoder()
+	hdr, err := giop.UnmarshalLocateRequest(d)
+	if err != nil {
+		o.Stats.ProtocolErrors.Add(1)
+		return giop.Write(w, &giop.Message{Type: giop.MsgMessageError, Order: msg.Order}) == nil
+	}
+	status := giop.LocateUnknownObject
+	if _, ok := o.lookupServant(string(hdr.ObjectKey)); ok {
+		status = giop.LocateObjectHere
+	}
+	e := giop.NewBodyEncoder(msg.Order)
+	(&giop.LocateReplyHeader{RequestID: hdr.RequestID, Status: status}).Marshal(e)
+	out := &giop.Message{Type: giop.MsgLocateReply, Order: msg.Order, Body: e.Bytes()}
+	o.Stats.BytesSent.Add(int64(len(out.Body) + giop.HeaderSize))
+	return giop.Write(w, out) == nil
+}

@@ -1,0 +1,885 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/codb"
+	"repro/internal/gateway"
+	"repro/internal/idl"
+	"repro/internal/orb"
+	"repro/internal/wtl"
+)
+
+// Lead is one discovery result offered to the user for selection, with the
+// provenance information WebFINDIT uses to educate the user ("the system
+// prompts the user to select the most interesting leads").
+type Lead struct {
+	Coalition string
+	Score     float64
+	Via       string // "local", "link:<name>", "peer:<database>"
+	CoDBRef   string // co-database able to expand this lead ("" = local)
+}
+
+// Response is the outcome of one WebTassili statement. Text always carries
+// a human-readable rendering; the typed fields carry the structured payload
+// of the statement kind that produced it.
+type Response struct {
+	Stmt       wtl.Stmt
+	Text       string
+	Leads      []Lead
+	Names      []string
+	Sources    []*codb.SourceDescriptor
+	Descriptor *codb.SourceDescriptor
+	DocURL     string
+	DocHTML    string
+	Result     *gateway.Result
+	Translated string // native query produced by the wrapper
+}
+
+// Config wires a query processor to its node.
+type Config struct {
+	ORB  *orb.ORB
+	Home string // home database name (users are users of a member database)
+	// HomeDescriptor is advertised by Join Coalition statements.
+	HomeDescriptor *codb.SourceDescriptor
+	// Local is the client of the node's own co-database servant.
+	Local *codb.Client
+	// LocalCoDB, when the co-database is in-process, enables maintenance
+	// statements (Create Coalition / Create Service Link) that the remote
+	// interface intentionally restricts.
+	LocalCoDB *codb.CoDatabase
+	// Gateway opens DSN connections for sources without an ISI reference.
+	Gateway *gateway.Manager
+}
+
+// Processor is the query layer of one WebFINDIT node.
+type Processor struct {
+	cfg Config
+}
+
+// New creates a processor; ORB, Home and Local are required.
+func New(cfg Config) (*Processor, error) {
+	if cfg.ORB == nil || cfg.Local == nil || cfg.Home == "" {
+		return nil, fmt.Errorf("query: Config needs ORB, Local and Home")
+	}
+	return &Processor{cfg: cfg}, nil
+}
+
+// Session is one user's interactive context: the coalition they are
+// connected to and the source they last selected. Sessions are not safe for
+// concurrent use.
+type Session struct {
+	p *Processor
+
+	// Coalition is the currently connected coalition ("" before Connect).
+	Coalition string
+	// Source is the currently selected information source.
+	Source string
+
+	codbClient *codb.Client // co-database answering for the current coalition
+	trace      []string
+}
+
+// NewSession opens a session rooted at the node's local co-database.
+func (p *Processor) NewSession() *Session {
+	return &Session{p: p, codbClient: p.cfg.Local}
+}
+
+// Trace returns the accumulated layer trace (query, communication,
+// meta-data, data) and clears it.
+func (s *Session) Trace() []string {
+	t := s.trace
+	s.trace = nil
+	return t
+}
+
+func (s *Session) tracef(layer, format string, args ...any) {
+	s.trace = append(s.trace, layer+" layer: "+fmt.Sprintf(format, args...))
+}
+
+// current returns the co-database client serving the session's context.
+func (s *Session) current() *codb.Client {
+	if s.codbClient != nil {
+		return s.codbClient
+	}
+	return s.p.cfg.Local
+}
+
+// Execute parses and runs one WebTassili statement.
+func (s *Session) Execute(src string) (*Response, error) {
+	stmt, err := wtl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s.tracef("query", "parsed %T", stmt)
+	return s.ExecuteStmt(stmt)
+}
+
+// ExecuteStmt runs one parsed statement.
+func (s *Session) ExecuteStmt(stmt wtl.Stmt) (*Response, error) {
+	switch q := stmt.(type) {
+	case *wtl.FindCoalitions:
+		return s.execFind(q)
+	case *wtl.Connect:
+		return s.execConnect(q)
+	case *wtl.DisplayCoalitions:
+		return s.execCoalitions(q)
+	case *wtl.DisplayLinks:
+		return s.execLinks(q)
+	case *wtl.DisplaySubClasses:
+		return s.execSubClasses(q)
+	case *wtl.DisplayInstances:
+		return s.execInstances(q)
+	case *wtl.DisplayDocument:
+		return s.execDocument(q)
+	case *wtl.DisplayAccessInfo:
+		return s.execAccessInfo(q)
+	case *wtl.DisplayInterface:
+		return s.execInterface(q)
+	case *wtl.SearchType:
+		return s.execSearchType(q)
+	case *wtl.FuncQuery:
+		return s.execFuncQuery(q)
+	case *wtl.NativeQuery:
+		return s.execNativeQuery(q)
+	case *wtl.CreateCoalition:
+		return s.execCreateCoalition(q)
+	case *wtl.CreateLink:
+		return s.execCreateLink(q)
+	case *wtl.JoinCoalition:
+		return s.execJoin(q)
+	case *wtl.LeaveCoalition:
+		return s.execLeave(q)
+	}
+	return nil, fmt.Errorf("query: unsupported statement %T", stmt)
+}
+
+// ---- Discovery (the paper's resolution algorithm) ----
+
+// execFind implements the three-stage resolution of §2: local coalitions
+// first, then local service links, then the coalitions/links known to the
+// other members of the local coalitions.
+func (s *Session) execFind(q *wtl.FindCoalitions) (*Response, error) {
+	leads, err := s.p.resolveTopic(s, q.Topic)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Stmt: q, Leads: leads}
+	if len(leads) == 0 {
+		resp.Text = fmt.Sprintf("No coalitions found for information %q.", q.Topic)
+		return resp, nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Coalitions offering information %q:\n", q.Topic)
+	for _, l := range leads {
+		fmt.Fprintf(&b, "  - %s (score %.2f, via %s)\n", l.Coalition, l.Score, l.Via)
+	}
+	resp.Text = strings.TrimRight(b.String(), "\n")
+	return resp, nil
+}
+
+// fullScore reports whether any lead matches every query token — the
+// condition under which a resolution stage "answers the query" and no
+// further escalation is needed.
+func fullScore(leads []Lead) bool {
+	for _, l := range leads {
+		if l.Score >= 1.0 {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveTopic runs the resolution algorithm and returns leads. Stages
+// escalate (local coalitions, then local service links, then coalition
+// peers) until some stage produces a full match; weaker partial matches from
+// earlier stages are kept as additional leads for the user to inspect.
+func (p *Processor) resolveTopic(s *Session, topic string) ([]Lead, error) {
+	local := p.cfg.Local
+	var leads []Lead
+
+	// Stage 1: coalitions in the local co-database.
+	s.tracef("communication", "invoke find_coalitions(%q) on local co-database", topic)
+	matches, err := local.FindCoalitions(topic)
+	if err != nil {
+		return nil, fmt.Errorf("query: local co-database: %w", err)
+	}
+	s.tracef("meta-data", "local co-database scored %d coalition(s)", len(matches))
+	leads = append(leads, leadsFrom(matches, "")...)
+	if fullScore(leads) {
+		return sortLeads(leads), nil
+	}
+
+	// Stage 2: service links known locally.
+	s.tracef("communication", "invoke find_links(%q) on local co-database", topic)
+	links, err := local.FindLinks(topic)
+	if err != nil {
+		return nil, fmt.Errorf("query: local co-database links: %w", err)
+	}
+	s.tracef("meta-data", "local co-database scored %d service link(s)", len(links))
+	leads = append(leads, leadsFrom(links, "")...)
+	if fullScore(leads) {
+		return sortLeads(leads), nil
+	}
+
+	// Stage 3: ask the other members of the local coalitions whether they
+	// know a coalition or a service link for this topic.
+	memberOf, err := local.MemberOf()
+	if err != nil {
+		return nil, err
+	}
+	out := leads
+	seen := map[string]bool{}
+	for _, l := range out {
+		seen["c:"+strings.ToLower(l.Coalition)] = true
+	}
+	for _, coalition := range memberOf {
+		members, err := local.Instances(coalition)
+		if err != nil {
+			continue
+		}
+		for _, m := range members {
+			if strings.EqualFold(m.Name, p.cfg.Home) || m.CoDBRef == "" {
+				continue
+			}
+			peer, err := p.codbByRef(m.CoDBRef)
+			if err != nil {
+				continue
+			}
+			s.tracef("communication", "invoke find_coalitions(%q) on peer co-database of %s", topic, m.Name)
+			pm, err := peer.FindCoalitions(topic)
+			if err == nil {
+				for _, match := range pm {
+					key := "c:" + strings.ToLower(match.Coalition)
+					if !seen[key] {
+						seen[key] = true
+						out = append(out, Lead{Coalition: match.Coalition, Score: match.Score,
+							Via: "peer:" + m.Name, CoDBRef: m.CoDBRef})
+					}
+				}
+			}
+			s.tracef("communication", "invoke find_links(%q) on peer co-database of %s", topic, m.Name)
+			pl, err := peer.FindLinks(topic)
+			if err == nil {
+				for _, match := range pl {
+					key := "l:" + strings.ToLower(match.Coalition)
+					if !seen[key] {
+						seen[key] = true
+						ref := match.CoDBRef
+						if ref == "" {
+							ref = m.CoDBRef
+						}
+						out = append(out, Lead{Coalition: match.Coalition, Score: match.Score,
+							Via: "peer:" + m.Name + "/" + match.Via, CoDBRef: ref})
+					}
+				}
+			}
+		}
+	}
+	s.tracef("meta-data", "coalition peers contributed %d lead(s)", len(out)-len(leads))
+	return sortLeads(out), nil
+}
+
+// sortLeads orders leads by descending score, then name, for stable output.
+func sortLeads(leads []Lead) []Lead {
+	sort.SliceStable(leads, func(i, j int) bool {
+		if leads[i].Score != leads[j].Score {
+			return leads[i].Score > leads[j].Score
+		}
+		return leads[i].Coalition < leads[j].Coalition
+	})
+	return leads
+}
+
+func leadsFrom(matches []codb.Match, defaultRef string) []Lead {
+	out := make([]Lead, len(matches))
+	for i, m := range matches {
+		ref := m.CoDBRef
+		if ref == "" {
+			ref = defaultRef
+		}
+		out[i] = Lead{Coalition: m.Coalition, Score: m.Score, Via: m.Via, CoDBRef: ref}
+	}
+	return out
+}
+
+// codbByRef opens a co-database client from a stringified IOR.
+func (p *Processor) codbByRef(ref string) (*codb.Client, error) {
+	objRef, err := p.cfg.ORB.ResolveString(ref)
+	if err != nil {
+		return nil, err
+	}
+	return codb.NewClient(objRef), nil
+}
+
+// ---- Connection and browsing ----
+
+// execConnect provides a point of entry for a coalition: the session's
+// subsequent Display queries run against the co-database that knows it.
+func (s *Session) execConnect(q *wtl.Connect) (*Response, error) {
+	client, err := s.p.coalitionEntry(s, q.Coalition)
+	if err != nil {
+		return nil, err
+	}
+	s.Coalition = q.Coalition
+	s.codbClient = client
+	return &Response{Stmt: q, Text: fmt.Sprintf("Connected to coalition %s.", q.Coalition)}, nil
+}
+
+// coalitionEntry finds a co-database that knows the coalition: locally,
+// through a service link, or through a coalition peer.
+func (p *Processor) coalitionEntry(s *Session, coalition string) (*codb.Client, error) {
+	local := p.cfg.Local
+	if hasCoalition(local, coalition) {
+		s.tracef("meta-data", "coalition %s found in local co-database", coalition)
+		return local, nil
+	}
+	// A service link naming the coalition as target may carry a reference.
+	links, err := local.Links()
+	if err == nil {
+		for _, l := range links {
+			if strings.EqualFold(l.To, coalition) && l.CoDBRef != "" {
+				if peer, err := p.codbByRef(l.CoDBRef); err == nil && hasCoalition(peer, coalition) {
+					s.tracef("communication", "entering coalition %s through service link %s", coalition, l.Name)
+					return peer, nil
+				}
+			}
+		}
+	}
+	// Ask coalition peers.
+	memberOf, _ := local.MemberOf()
+	for _, c := range memberOf {
+		members, err := local.Instances(c)
+		if err != nil {
+			continue
+		}
+		for _, m := range members {
+			if strings.EqualFold(m.Name, p.cfg.Home) || m.CoDBRef == "" {
+				continue
+			}
+			peer, err := p.codbByRef(m.CoDBRef)
+			if err != nil {
+				continue
+			}
+			if hasCoalition(peer, coalition) {
+				s.tracef("communication", "entering coalition %s through peer %s", coalition, m.Name)
+				return peer, nil
+			}
+			// One more hop: the peer's links may carry the reference.
+			plinks, err := peer.Links()
+			if err != nil {
+				continue
+			}
+			for _, l := range plinks {
+				if strings.EqualFold(l.To, coalition) && l.CoDBRef != "" {
+					if far, err := p.codbByRef(l.CoDBRef); err == nil && hasCoalition(far, coalition) {
+						s.tracef("communication", "entering coalition %s through peer %s link %s",
+							coalition, m.Name, l.Name)
+						return far, nil
+					}
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("query: no entry point found for coalition %s", coalition)
+}
+
+func hasCoalition(c *codb.Client, coalition string) bool {
+	names, err := c.Coalitions()
+	if err != nil {
+		return false
+	}
+	for _, n := range names {
+		if strings.EqualFold(n, coalition) {
+			return true
+		}
+	}
+	return false
+}
+
+// execCoalitions lists the coalitions of the session's current co-database.
+func (s *Session) execCoalitions(q *wtl.DisplayCoalitions) (*Response, error) {
+	s.tracef("communication", "invoke coalitions()")
+	names, err := s.current().Coalitions()
+	if err != nil {
+		return nil, err
+	}
+	text := "No coalitions known here."
+	if len(names) > 0 {
+		text = "Known coalitions: " + strings.Join(names, ", ")
+	}
+	return &Response{Stmt: q, Names: names, Text: text}, nil
+}
+
+// execLinks lists the service links of the session's current co-database.
+func (s *Session) execLinks(q *wtl.DisplayLinks) (*Response, error) {
+	s.tracef("communication", "invoke links()")
+	links, err := s.current().Links()
+	if err != nil {
+		return nil, err
+	}
+	if len(links) == 0 {
+		return &Response{Stmt: q, Text: "No service links known here."}, nil
+	}
+	var b strings.Builder
+	b.WriteString("Known service links:")
+	var names []string
+	for _, l := range links {
+		names = append(names, l.Name)
+		fmt.Fprintf(&b, "\n  %s: %s %q -> %s %q (%s)",
+			l.Name, l.FromKind, l.From, l.ToKind, l.To, l.InfoType)
+	}
+	return &Response{Stmt: q, Names: names, Text: b.String()}, nil
+}
+
+func (s *Session) execSubClasses(q *wtl.DisplaySubClasses) (*Response, error) {
+	s.tracef("communication", "invoke subclasses(%q)", q.Class)
+	subs, err := s.current().SubCoalitions(q.Class, true)
+	if err != nil {
+		return nil, err
+	}
+	text := fmt.Sprintf("Class %s has no subclasses.", q.Class)
+	if len(subs) > 0 {
+		text = fmt.Sprintf("SubClasses of %s: %s", q.Class, strings.Join(subs, ", "))
+	}
+	return &Response{Stmt: q, Names: subs, Text: text}, nil
+}
+
+func (s *Session) execInstances(q *wtl.DisplayInstances) (*Response, error) {
+	s.tracef("communication", "invoke instances(%q)", q.Class)
+	members, err := s.current().Instances(q.Class)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(members))
+	for i, m := range members {
+		names[i] = m.Name
+	}
+	text := fmt.Sprintf("Class %s has no instances.", q.Class)
+	if len(names) > 0 {
+		text = fmt.Sprintf("Instances of %s:\n  %s", q.Class, strings.Join(names, "\n  "))
+	}
+	return &Response{Stmt: q, Sources: members, Names: names, Text: text}, nil
+}
+
+func (s *Session) execDocument(q *wtl.DisplayDocument) (*Response, error) {
+	s.tracef("communication", "invoke document(%q)", q.Instance)
+	url, html, err := s.current().Document(q.Instance)
+	if err != nil {
+		return nil, err
+	}
+	s.Source = q.Instance
+	text := fmt.Sprintf("Documentation of %s: %s", q.Instance, url)
+	return &Response{Stmt: q, DocURL: url, DocHTML: html, Text: text}, nil
+}
+
+func (s *Session) execAccessInfo(q *wtl.DisplayAccessInfo) (*Response, error) {
+	s.tracef("communication", "invoke access_info(%q)", q.Instance)
+	d, err := s.current().AccessInfo(q.Instance)
+	if err != nil {
+		return nil, err
+	}
+	s.Source = d.Name
+	var b strings.Builder
+	fmt.Fprintf(&b, "The database %s is located at %q and exports the following type(s):\n",
+		d.Name, d.Location)
+	for _, t := range d.Interface {
+		b.WriteString(t.Declaration())
+		b.WriteByte('\n')
+	}
+	return &Response{Stmt: q, Descriptor: d, Text: strings.TrimRight(b.String(), "\n")}, nil
+}
+
+func (s *Session) execInterface(q *wtl.DisplayInterface) (*Response, error) {
+	s.tracef("communication", "invoke access_info(%q)", q.Instance)
+	d, err := s.current().AccessInfo(q.Instance)
+	if err != nil {
+		return nil, err
+	}
+	s.Source = d.Name
+	return &Response{
+		Stmt:    q,
+		Names:   d.InterfaceNames(),
+		Text:    fmt.Sprintf("Interface of %s: %s", d.Name, strings.Join(d.InterfaceNames(), ", ")),
+		Sources: []*codb.SourceDescriptor{d},
+	}, nil
+}
+
+// matchesStructure checks that an exported type declares every attribute a
+// structural search requires (by qualified or bare name; type must match
+// when both sides give one).
+func matchesStructure(et *codb.ExportedType, wants []wtl.Member) bool {
+	for _, w := range wants {
+		found := false
+		for _, a := range et.Attributes {
+			if !attrNameMatches(a.Name, w.Name) {
+				continue
+			}
+			if w.Type != "" && a.Type != "" && !strings.EqualFold(a.Type, w.Type) {
+				continue
+			}
+			found = true
+			break
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// attrNameMatches compares attribute names, letting a bare name match the
+// column part of a qualified one.
+func attrNameMatches(have, want string) bool {
+	if strings.EqualFold(have, want) {
+		return true
+	}
+	hBase := have
+	if _, c, ok := strings.Cut(have, "."); ok {
+		hBase = c
+	}
+	wBase := want
+	if _, c, ok := strings.Cut(want, "."); ok {
+		wBase = c
+	}
+	return strings.EqualFold(hBase, wBase)
+}
+
+func (s *Session) execSearchType(q *wtl.SearchType) (*Response, error) {
+	client := s.current()
+	coalitions, err := client.Coalitions()
+	if err != nil {
+		return nil, err
+	}
+	var hits []*codb.SourceDescriptor
+	seen := map[string]bool{}
+	for _, c := range coalitions {
+		members, err := client.Instances(c)
+		if err != nil {
+			continue
+		}
+		for _, m := range members {
+			if seen[strings.ToLower(m.Name)] {
+				continue
+			}
+			et, ok := m.Type(q.TypeName)
+			if !ok {
+				continue
+			}
+			if len(q.Structure) > 0 && !matchesStructure(et, q.Structure) {
+				continue
+			}
+			seen[strings.ToLower(m.Name)] = true
+			hits = append(hits, m)
+		}
+	}
+	names := make([]string, len(hits))
+	for i, h := range hits {
+		names[i] = h.Name
+	}
+	text := fmt.Sprintf("No sources export type %s.", q.TypeName)
+	if len(hits) > 0 {
+		text = fmt.Sprintf("Sources exporting type %s: %s", q.TypeName, strings.Join(names, ", "))
+	}
+	return &Response{Stmt: q, Sources: hits, Names: names, Text: text}, nil
+}
+
+// ---- Data access ----
+
+// lookupSource finds a descriptor in the current context, falling back to
+// the local co-database.
+func (s *Session) lookupSource(name string) (*codb.SourceDescriptor, error) {
+	if name == "" {
+		name = s.Source
+	}
+	if name == "" {
+		return nil, fmt.Errorf("query: no source selected; name one with On or Display Access Information first")
+	}
+	if d, err := s.current().AccessInfo(name); err == nil {
+		return d, nil
+	}
+	d, err := s.p.cfg.Local.AccessInfo(name)
+	if err != nil {
+		return nil, fmt.Errorf("query: source %s not found in current context: %w", name, err)
+	}
+	return d, nil
+}
+
+// openSource opens a gateway connection to the descriptor's database:
+// through its ISI servant when it advertises one, else through a DSN.
+func (p *Processor) openSource(s *Session, d *codb.SourceDescriptor) (gateway.Conn, error) {
+	if d.ISIRef != "" {
+		ref, err := p.cfg.ORB.ResolveString(d.ISIRef)
+		if err != nil {
+			return nil, fmt.Errorf("query: source %s advertises a bad ISI reference: %w", d.Name, err)
+		}
+		s.tracef("communication", "connecting to ISI of %s at %s", d.Name, ref.IOR().Addr())
+		return gateway.NewRemoteConn(ref), nil
+	}
+	if d.DSN != "" && p.cfg.Gateway != nil {
+		s.tracef("communication", "opening gateway DSN %s", d.DSN)
+		return p.cfg.Gateway.Open(d.DSN)
+	}
+	return nil, fmt.Errorf("query: source %s advertises no access path", d.Name)
+}
+
+func (s *Session) execFuncQuery(q *wtl.FuncQuery) (*Response, error) {
+	if q.OnCoalition {
+		return s.execCoalitionFuncQuery(q)
+	}
+	d, err := s.lookupSource(q.Source)
+	if err != nil {
+		return nil, err
+	}
+	var fn *codb.ExportedFunction
+	for i := range d.Interface {
+		if f, ok := d.Interface[i].Function(q.Function); ok {
+			fn = f
+			break
+		}
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("query: source %s exports no function %s", d.Name, q.Function)
+	}
+	w := WrapperFor(d)
+	native, err := w.Translate(fn, q.Preds)
+	if err != nil {
+		return nil, err
+	}
+	s.tracef("query", "wrapper %s translated %s to: %s", w.Name(), q.Function, native)
+	conn, err := s.p.openSource(s, d)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	s.tracef("data", "executing on %s (%s): %s", d.Name, d.Engine, native)
+	res, err := conn.Query(native)
+	if err != nil {
+		return nil, fmt.Errorf("query: %s: %w", d.Name, err)
+	}
+	s.Source = d.Name
+	return &Response{Stmt: q, Result: res, Translated: native, Descriptor: d, Text: res.Format()}, nil
+}
+
+// execCoalitionFuncQuery decomposes a typed query over every member of a
+// coalition that exports the function, merging the result sets with a
+// leading "source" column — the paper's query decomposition across a
+// cluster of databases sharing a topic.
+func (s *Session) execCoalitionFuncQuery(q *wtl.FuncQuery) (*Response, error) {
+	entry, err := s.p.coalitionEntry(s, q.Source)
+	if err != nil {
+		return nil, err
+	}
+	members, err := entry.Instances(q.Source)
+	if err != nil {
+		return nil, err
+	}
+	merged := &gateway.Result{}
+	var translations []string
+	queried := 0
+	for _, d := range members {
+		var fn *codb.ExportedFunction
+		for i := range d.Interface {
+			if f, ok := d.Interface[i].Function(q.Function); ok {
+				fn = f
+				break
+			}
+		}
+		if fn == nil {
+			continue // members without the function do not participate
+		}
+		w := WrapperFor(d)
+		native, err := w.Translate(fn, q.Preds)
+		if err != nil {
+			return nil, fmt.Errorf("query: %s: %w", d.Name, err)
+		}
+		conn, err := s.p.openSource(s, d)
+		if err != nil {
+			return nil, err
+		}
+		s.tracef("data", "decomposed query on %s (%s): %s", d.Name, d.Engine, native)
+		res, err := conn.Query(native)
+		conn.Close()
+		if err != nil {
+			return nil, fmt.Errorf("query: %s: %w", d.Name, err)
+		}
+		queried++
+		translations = append(translations, d.Name+": "+native)
+		if len(merged.Columns) == 0 {
+			merged.Columns = append([]string{"source"}, res.Columns...)
+		}
+		for _, row := range res.Rows {
+			merged.Rows = append(merged.Rows, append([]idl.Any{idl.String(d.Name)}, row...))
+		}
+	}
+	if queried == 0 {
+		return nil, fmt.Errorf("query: no member of coalition %s exports function %s", q.Source, q.Function)
+	}
+	return &Response{
+		Stmt:       q,
+		Result:     merged,
+		Translated: strings.Join(translations, "\n"),
+		Text:       merged.Format(),
+	}, nil
+}
+
+func (s *Session) execNativeQuery(q *wtl.NativeQuery) (*Response, error) {
+	d, err := s.lookupSource(q.Source)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := s.p.openSource(s, d)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	s.tracef("data", "executing on %s (%s): %s", d.Name, d.Engine, q.Text)
+	res, err := conn.Query(q.Text)
+	if err != nil {
+		return nil, fmt.Errorf("query: %s: %w", d.Name, err)
+	}
+	s.Source = d.Name
+	return &Response{Stmt: q, Result: res, Translated: q.Text, Descriptor: d, Text: res.Format()}, nil
+}
+
+// ---- Information-space maintenance ----
+
+// maintenanceCoDB requires an in-process co-database for schema changes.
+func (s *Session) maintenanceCoDB() (*codb.CoDatabase, error) {
+	if s.p.cfg.LocalCoDB == nil {
+		return nil, fmt.Errorf("query: information-space maintenance requires the node's own co-database")
+	}
+	return s.p.cfg.LocalCoDB, nil
+}
+
+func (s *Session) execCreateCoalition(q *wtl.CreateCoalition) (*Response, error) {
+	cd, err := s.maintenanceCoDB()
+	if err != nil {
+		return nil, err
+	}
+	if err := cd.DefineCoalition(q.Name, q.Parent, q.Description); err != nil {
+		return nil, err
+	}
+	return &Response{Stmt: q, Text: fmt.Sprintf("Coalition %s created.", q.Name)}, nil
+}
+
+func (s *Session) execCreateLink(q *wtl.CreateLink) (*Response, error) {
+	cd, err := s.maintenanceCoDB()
+	if err != nil {
+		return nil, err
+	}
+	if err := cd.AddLink(&codb.ServiceLink{
+		Name:     q.Name,
+		FromKind: q.FromKind,
+		From:     q.From,
+		ToKind:   q.ToKind,
+		To:       q.To,
+		InfoType: q.InfoType,
+	}); err != nil {
+		return nil, err
+	}
+	return &Response{Stmt: q, Text: fmt.Sprintf("Service link %s created.", q.Name)}, nil
+}
+
+// memberCoDBs opens the co-database clients of a coalition's members as
+// known to the entry client, deduplicated by reference.
+func (p *Processor) memberCoDBs(entry *codb.Client, coalition string) ([]*codb.Client, error) {
+	members, err := entry.Instances(coalition)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []*codb.Client
+	for _, m := range members {
+		if m.CoDBRef == "" || seen[m.CoDBRef] {
+			continue
+		}
+		seen[m.CoDBRef] = true
+		c, err := p.codbByRef(m.CoDBRef)
+		if err != nil {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// execJoin advertises the home database into a coalition: every current
+// member's co-database learns the newcomer, and — when this node owns its
+// co-database — the coalition is replicated locally with all its members, so
+// the newcomer is a full participant ("individual sites join and leave these
+// clusters at their own discretion").
+func (s *Session) execJoin(q *wtl.JoinCoalition) (*Response, error) {
+	home := s.p.cfg.HomeDescriptor
+	if home == nil {
+		return nil, fmt.Errorf("query: node has no home descriptor to advertise")
+	}
+	entry, err := s.p.coalitionEntry(s, q.Coalition)
+	if err != nil {
+		return nil, err
+	}
+	members, err := entry.Instances(q.Coalition)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range members {
+		if strings.EqualFold(m.Name, s.p.cfg.Home) {
+			return nil, fmt.Errorf("query: %s is already a member of %s", s.p.cfg.Home, q.Coalition)
+		}
+	}
+	peers, err := s.p.memberCoDBs(entry, q.Coalition)
+	if err != nil {
+		return nil, err
+	}
+	for _, peer := range peers {
+		s.tracef("communication", "advertising %s into a member co-database", s.p.cfg.Home)
+		if err := peer.Advertise(q.Coalition, home); err != nil {
+			return nil, err
+		}
+	}
+	// Local replication.
+	if cd := s.p.cfg.LocalCoDB; cd != nil {
+		if !cd.HasCoalition(q.Coalition) {
+			desc, syns, _ := entry.CoalitionInfo(q.Coalition)
+			if err := cd.DefineCoalition(q.Coalition, "", desc, syns...); err != nil {
+				return nil, err
+			}
+		}
+		for _, m := range members {
+			if err := cd.AddMember(q.Coalition, m); err != nil && !strings.Contains(err.Error(), "already a member") {
+				return nil, err
+			}
+		}
+		if err := cd.AddMember(q.Coalition, home); err != nil && !strings.Contains(err.Error(), "already a member") {
+			return nil, err
+		}
+	}
+	return &Response{Stmt: q,
+		Text: fmt.Sprintf("%s joined coalition %s.", s.p.cfg.Home, q.Coalition)}, nil
+}
+
+// execLeave withdraws the home database from a coalition everywhere it is
+// known: every member's co-database, and the local copy.
+func (s *Session) execLeave(q *wtl.LeaveCoalition) (*Response, error) {
+	entry, err := s.p.coalitionEntry(s, q.Coalition)
+	if err != nil {
+		return nil, err
+	}
+	peers, err := s.p.memberCoDBs(entry, q.Coalition)
+	if err != nil {
+		return nil, err
+	}
+	removed := false
+	for _, peer := range peers {
+		if err := peer.RemoveMember(q.Coalition, s.p.cfg.Home); err == nil {
+			removed = true
+		}
+	}
+	if !removed {
+		return nil, fmt.Errorf("query: %s is not a member of %s", s.p.cfg.Home, q.Coalition)
+	}
+	return &Response{Stmt: q,
+		Text: fmt.Sprintf("%s left coalition %s.", s.p.cfg.Home, q.Coalition)}, nil
+}

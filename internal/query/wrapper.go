@@ -1,0 +1,121 @@
+// Package query implements the WebFINDIT query layer: the query processor
+// that checks WebTassili statements, instantiates an execution plan, runs
+// the paper's two-level resolution algorithm over co-databases (local
+// coalitions, then service links, then coalition peers), and translates
+// typed data queries through wrappers into the native language of the
+// target database.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codb"
+	"repro/internal/wtl"
+)
+
+// Wrapper translates an exported-function invocation into the native query
+// language of one engine family. The paper names these programs
+// ("WebTassiliOracle" is "the wrapper needed to access data in the Oracle
+// database using a WebTassili query").
+type Wrapper interface {
+	Name() string
+	Translate(fn *codb.ExportedFunction, preds []wtl.Condition) (string, error)
+}
+
+// sqlWrapper translates to the SQL dialect family, producing the paper's
+// exact shape:
+//
+//	SELECT a.Funding FROM ResearchProjects a WHERE a.Title = 'AIDS and drugs'
+type sqlWrapper struct{ name string }
+
+func (w *sqlWrapper) Name() string { return w.name }
+
+func (w *sqlWrapper) Translate(fn *codb.ExportedFunction, preds []wtl.Condition) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT a.%s FROM %s a", fn.ResultColumn, fn.Table)
+	if len(preds) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range preds {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			col, err := columnFor(fn, p.Column)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "a.%s %s %s", col, p.Op, sqlLiteral(p))
+		}
+	}
+	return b.String(), nil
+}
+
+// oqlWrapper translates to the object engines' OQL-lite.
+type oqlWrapper struct{ name string }
+
+func (w *oqlWrapper) Name() string { return w.name }
+
+func (w *oqlWrapper) Translate(fn *codb.ExportedFunction, preds []wtl.Condition) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s FROM %s", fn.ResultColumn, fn.Table)
+	if len(preds) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range preds {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			col, err := columnFor(fn, p.Column)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%s %s %s", col, p.Op, sqlLiteral(p))
+		}
+	}
+	return b.String(), nil
+}
+
+// columnFor resolves a possibly qualified predicate column against the
+// function's table, so "ResearchProjects.Title" becomes "Title" and a
+// mismatched qualifier is rejected. Qualifiers name the *exported type*
+// ("ResearchProjects"), which may differ from the physical relation
+// ("research_projects") only in case and underscores.
+func columnFor(fn *codb.ExportedFunction, col string) (string, error) {
+	if table, c, ok := strings.Cut(col, "."); ok {
+		if normalizeRel(table) != normalizeRel(fn.Table) {
+			return "", fmt.Errorf("query: predicate column %s does not belong to %s", col, fn.Table)
+		}
+		return c, nil
+	}
+	return col, nil
+}
+
+// normalizeRel folds case and underscores so logical exported-type names
+// match the physical relations they export.
+func normalizeRel(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), "_", "")
+}
+
+func sqlLiteral(p wtl.Condition) string {
+	if p.IsStr {
+		return "'" + strings.ReplaceAll(p.Value, "'", "''") + "'"
+	}
+	return p.Value
+}
+
+// WrapperFor picks the wrapper a descriptor advertises. Unknown wrapper
+// names fall back by engine family, which is how the prototype degrades
+// when a site advertises a wrapper this node does not ship.
+func WrapperFor(d *codb.SourceDescriptor) Wrapper {
+	switch d.Wrapper {
+	case "WebTassiliOracle", "WebTassiliMSQL", "WebTassiliDB2", "WebTassiliSybase":
+		return &sqlWrapper{name: d.Wrapper}
+	case "WebTassiliObjectStore", "WebTassiliOntos":
+		return &oqlWrapper{name: d.Wrapper}
+	}
+	switch d.Engine {
+	case "ObjectStore", "Ontos":
+		return &oqlWrapper{name: "WebTassili" + d.Engine}
+	default:
+		return &sqlWrapper{name: "WebTassili" + d.Engine}
+	}
+}

@@ -1,0 +1,605 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustExec runs a statement and fails the test on error.
+func mustExec(t *testing.T, db *Database, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%s): %v", sql, err)
+	}
+	return res
+}
+
+func mustQuery(t *testing.T, db *Database, sql string) *Result {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", sql, err)
+	}
+	return res
+}
+
+// newPatientsDB builds a database with the paper's Royal Brisbane Hospital
+// Patient relation (§2.2) and a few rows.
+func newPatientsDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("RBH", DialectOracle)
+	mustExec(t, db, `CREATE TABLE Patient (
+		Patient_Id INT PRIMARY KEY,
+		Name VARCHAR(64) NOT NULL,
+		Date_Of_Birth DATE,
+		Gender VARCHAR(1),
+		Address VARCHAR(128))`)
+	mustExec(t, db, `INSERT INTO Patient VALUES
+		(1, 'Alice Howe', '1961-04-02', 'F', '12 Wickham Tce'),
+		(2, 'Bob Tran', '1974-09-13', 'M', '3 Boundary St'),
+		(3, 'Carol Ng', '1980-01-30', 'F', NULL),
+		(4, 'Dan Park', '1955-07-21', 'M', '77 Ann St')`)
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustQuery(t, db, "SELECT Name, Gender FROM Patient ORDER BY Patient_Id")
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	if res.Columns[0] != "Name" || res.Columns[1] != "Gender" {
+		t.Fatalf("bad columns %v", res.Columns)
+	}
+	if res.Rows[0][0].Str != "Alice Howe" {
+		t.Errorf("row 0 = %v", res.Rows[0])
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustQuery(t, db, "SELECT * FROM Patient WHERE Patient_Id = 2")
+	if len(res.Rows) != 1 || len(res.Columns) != 5 {
+		t.Fatalf("rows=%d cols=%d", len(res.Rows), len(res.Columns))
+	}
+	if res.Rows[0][1].Str != "Bob Tran" {
+		t.Errorf("got %v", res.Rows[0])
+	}
+}
+
+func TestWherePredicates(t *testing.T) {
+	db := newPatientsDB(t)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"Gender = 'F'", 2},
+		{"Gender <> 'F'", 2},
+		{"Patient_Id > 2", 2},
+		{"Patient_Id >= 2 AND Gender = 'M'", 2},
+		{"Patient_Id = 1 OR Patient_Id = 4", 2},
+		{"Name LIKE 'A%'", 1},
+		{"Name LIKE '%a%'", 3},
+		{"Name LIKE '_ob%'", 1},
+		{"Address IS NULL", 1},
+		{"Address IS NOT NULL", 3},
+		{"Patient_Id IN (1, 3, 99)", 2},
+		{"Patient_Id NOT IN (1, 3)", 2},
+		{"Patient_Id BETWEEN 2 AND 3", 2},
+		{"Patient_Id NOT BETWEEN 2 AND 3", 2},
+		{"NOT Gender = 'F'", 2},
+		{"Date_Of_Birth < '1970-01-01'", 2},
+	}
+	for _, c := range cases {
+		res := mustQuery(t, db, "SELECT Patient_Id FROM Patient WHERE "+c.where)
+		if len(res.Rows) != c.want {
+			t.Errorf("WHERE %s: got %d rows, want %d", c.where, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestNullComparisonsFilterOut(t *testing.T) {
+	db := newPatientsDB(t)
+	// Address = NULL is UNKNOWN for every row, so nothing matches.
+	res := mustQuery(t, db, "SELECT * FROM Patient WHERE Address = NULL")
+	if len(res.Rows) != 0 {
+		t.Errorf("NULL equality matched %d rows", len(res.Rows))
+	}
+}
+
+func TestExpressionsAndFunctions(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	res := mustQuery(t, db, "SELECT 1 + 2 * 3, UPPER('ab'), LENGTH('hello'), COALESCE(NULL, 'x'), SUBSTR('abcdef', 2, 3), ABS(-4)")
+	row := res.Rows[0]
+	if row[0].Int != 7 {
+		t.Errorf("arith: %v", row[0])
+	}
+	if row[1].Str != "AB" {
+		t.Errorf("UPPER: %v", row[1])
+	}
+	if row[2].Int != 5 {
+		t.Errorf("LENGTH: %v", row[2])
+	}
+	if row[3].Str != "x" {
+		t.Errorf("COALESCE: %v", row[3])
+	}
+	if row[4].Str != "bcd" {
+		t.Errorf("SUBSTR: %v", row[4])
+	}
+	if row[5].Int != 4 {
+		t.Errorf("ABS: %v", row[5])
+	}
+}
+
+func TestConcatAndDivision(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	res := mustQuery(t, db, "SELECT 'a' || 'b', 7 / 2, 7.0 / 2, 7 % 3")
+	row := res.Rows[0]
+	if row[0].Str != "ab" {
+		t.Errorf("concat: %v", row[0])
+	}
+	if row[1].Int != 3 {
+		t.Errorf("int div: %v", row[1])
+	}
+	if row[2].Float != 3.5 {
+		t.Errorf("float div: %v", row[2])
+	}
+	if row[3].Int != 1 {
+		t.Errorf("mod: %v", row[3])
+	}
+	if _, err := db.Query("SELECT 1 / 0"); err == nil {
+		t.Error("division by zero not reported")
+	}
+}
+
+func TestOrderLimitOffset(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustQuery(t, db, "SELECT Name FROM Patient ORDER BY Name DESC LIMIT 2 OFFSET 1")
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	if res.Rows[0][0].Str != "Carol Ng" || res.Rows[1][0].Str != "Bob Tran" {
+		t.Errorf("got %v / %v", res.Rows[0][0], res.Rows[1][0])
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustQuery(t, db, "SELECT Patient_Id * 10 AS score FROM Patient ORDER BY score DESC LIMIT 1")
+	if res.Rows[0][0].Int != 40 {
+		t.Errorf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustQuery(t, db, "SELECT DISTINCT Gender FROM Patient ORDER BY Gender")
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustQuery(t, db, "SELECT COUNT(*), COUNT(Address), MIN(Patient_Id), MAX(Patient_Id), SUM(Patient_Id), AVG(Patient_Id) FROM Patient")
+	row := res.Rows[0]
+	if row[0].Int != 4 || row[1].Int != 3 {
+		t.Errorf("counts: %v %v", row[0], row[1])
+	}
+	if row[2].Int != 1 || row[3].Int != 4 || row[4].Int != 10 {
+		t.Errorf("min/max/sum: %v %v %v", row[2], row[3], row[4])
+	}
+	if row[5].Float != 2.5 {
+		t.Errorf("avg: %v", row[5])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustQuery(t, db, "SELECT Gender, COUNT(*) AS n FROM Patient GROUP BY Gender ORDER BY Gender")
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d groups", len(res.Rows))
+	}
+	if res.Rows[0][0].Str != "F" || res.Rows[0][1].Int != 2 {
+		t.Errorf("group F: %v", res.Rows[0])
+	}
+	res = mustQuery(t, db, "SELECT Gender FROM Patient GROUP BY Gender HAVING COUNT(*) > 1 ORDER BY Gender")
+	if len(res.Rows) != 2 {
+		t.Errorf("having: got %d", len(res.Rows))
+	}
+	res = mustQuery(t, db, "SELECT Gender FROM Patient GROUP BY Gender HAVING MIN(Patient_Id) = 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "F" {
+		t.Errorf("having min: %v", res.Rows)
+	}
+}
+
+func TestCountOnEmptyTable(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	mustExec(t, db, "CREATE TABLE empty (x INT)")
+	res := mustQuery(t, db, "SELECT COUNT(*), SUM(x) FROM empty")
+	if len(res.Rows) != 1 {
+		t.Fatalf("aggregate over empty table must yield one row, got %d", len(res.Rows))
+	}
+	if res.Rows[0][0].Int != 0 || !res.Rows[0][1].Null {
+		t.Errorf("got %v", res.Rows[0])
+	}
+}
+
+func newJoinDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("RBH", DialectOracle)
+	mustExec(t, db, "CREATE TABLE doctors (employee_id INT PRIMARY KEY, qualification VARCHAR(32), position VARCHAR(32))")
+	mustExec(t, db, "CREATE TABLE history (patient_id INT, date_recorded DATE, description VARCHAR(128), doctor_id INT)")
+	mustExec(t, db, `INSERT INTO doctors VALUES (10, 'MBBS', 'Registrar'), (11, 'FRACP', 'Consultant'), (12, 'MBBS', 'Intern')`)
+	mustExec(t, db, `INSERT INTO history VALUES
+		(1, '1998-05-01', 'influenza', 10),
+		(1, '1998-06-11', 'follow-up', 11),
+		(2, '1998-07-02', 'fracture', 10),
+		(3, '1998-08-15', 'allergy', 99)`)
+	return db
+}
+
+func TestInnerJoin(t *testing.T) {
+	db := newJoinDB(t)
+	res := mustQuery(t, db, `SELECT h.patient_id, d.position FROM history h
+		JOIN doctors d ON h.doctor_id = d.employee_id ORDER BY h.patient_id, d.position`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	if res.Rows[0][1].Str != "Consultant" && res.Rows[0][1].Str != "Registrar" {
+		t.Errorf("row0: %v", res.Rows[0])
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := newJoinDB(t)
+	res := mustQuery(t, db, `SELECT h.patient_id, d.position FROM history h
+		LEFT JOIN doctors d ON h.doctor_id = d.employee_id ORDER BY h.patient_id`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	last := res.Rows[3]
+	if last[0].Int != 3 || !last[1].Null {
+		t.Errorf("unmatched row not null-extended: %v", last)
+	}
+}
+
+func TestCommaJoinWithWhere(t *testing.T) {
+	db := newJoinDB(t)
+	res := mustQuery(t, db, `SELECT h.description FROM history h, doctors d
+		WHERE h.doctor_id = d.employee_id AND d.qualification = 'MBBS' ORDER BY h.description`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestCrossJoinCount(t *testing.T) {
+	db := newJoinDB(t)
+	res := mustQuery(t, db, "SELECT COUNT(*) FROM history CROSS JOIN doctors")
+	if res.Rows[0][0].Int != 12 {
+		t.Errorf("cross join count = %v", res.Rows[0][0])
+	}
+}
+
+func TestNonEquiJoin(t *testing.T) {
+	db := newJoinDB(t)
+	res := mustQuery(t, db, `SELECT COUNT(*) FROM history h JOIN doctors d ON h.doctor_id < d.employee_id`)
+	// doctor_id 10: < 11,12 → 2 each for two history rows = 4; 11: <12 → 1; 99: none.
+	if res.Rows[0][0].Int != 5 {
+		t.Errorf("non-equi join count = %v, want 5", res.Rows[0][0])
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustExec(t, db, "UPDATE Patient SET Address = 'unknown' WHERE Address IS NULL")
+	if res.RowsAffected != 1 {
+		t.Fatalf("update affected %d", res.RowsAffected)
+	}
+	res = mustQuery(t, db, "SELECT COUNT(*) FROM Patient WHERE Address = 'unknown'")
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("after update: %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, "DELETE FROM Patient WHERE Gender = 'M'")
+	if res.RowsAffected != 2 {
+		t.Fatalf("delete affected %d", res.RowsAffected)
+	}
+	res = mustQuery(t, db, "SELECT COUNT(*) FROM Patient")
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("after delete: %v", res.Rows[0][0])
+	}
+}
+
+func TestPrimaryKeyViolation(t *testing.T) {
+	db := newPatientsDB(t)
+	if _, err := db.Exec("INSERT INTO Patient VALUES (1, 'Dup', NULL, 'F', NULL)"); err == nil {
+		t.Fatal("duplicate primary key accepted")
+	}
+	if _, err := db.Exec("UPDATE Patient SET Patient_Id = 2 WHERE Patient_Id = 1"); err == nil {
+		t.Fatal("update into duplicate primary key accepted")
+	}
+}
+
+func TestNotNullViolation(t *testing.T) {
+	db := newPatientsDB(t)
+	if _, err := db.Exec("INSERT INTO Patient (Patient_Id) VALUES (9)"); err == nil {
+		t.Fatal("NOT NULL violation accepted")
+	}
+}
+
+func TestVarcharLimit(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	mustExec(t, db, "CREATE TABLE s (v VARCHAR(3))")
+	if _, err := db.Exec("INSERT INTO s VALUES ('abcd')"); err == nil {
+		t.Fatal("oversize VARCHAR accepted")
+	}
+	mustExec(t, db, "INSERT INTO s VALUES ('abc')")
+}
+
+func TestInsertColumnSubset(t *testing.T) {
+	db := newPatientsDB(t)
+	mustExec(t, db, "INSERT INTO Patient (Patient_Id, Name) VALUES (5, 'Eve Liu')")
+	res := mustQuery(t, db, "SELECT Address FROM Patient WHERE Patient_Id = 5")
+	if !res.Rows[0][0].Null {
+		t.Errorf("unspecified column not NULL: %v", res.Rows[0][0])
+	}
+}
+
+func TestInsertFromSelect(t *testing.T) {
+	db := newPatientsDB(t)
+	mustExec(t, db, "CREATE TABLE names (n VARCHAR(64))")
+	res := mustExec(t, db, "INSERT INTO names SELECT Name FROM Patient WHERE Gender = 'F'")
+	if res.RowsAffected != 2 {
+		t.Fatalf("insert-select affected %d", res.RowsAffected)
+	}
+}
+
+func TestSecondaryIndexAndLookup(t *testing.T) {
+	db := newPatientsDB(t)
+	mustExec(t, db, "CREATE INDEX idx_gender ON Patient (Gender)")
+	res := mustQuery(t, db, "SELECT COUNT(*) FROM Patient WHERE Gender = 'F'")
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("index lookup: %v", res.Rows[0][0])
+	}
+	// Index must track updates and deletes.
+	mustExec(t, db, "UPDATE Patient SET Gender = 'X' WHERE Patient_Id = 1")
+	res = mustQuery(t, db, "SELECT COUNT(*) FROM Patient WHERE Gender = 'F'")
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("index after update: %v", res.Rows[0][0])
+	}
+	mustExec(t, db, "DELETE FROM Patient WHERE Gender = 'X'")
+	res = mustQuery(t, db, "SELECT COUNT(*) FROM Patient WHERE Gender = 'X'")
+	if res.Rows[0][0].Int != 0 {
+		t.Errorf("index after delete: %v", res.Rows[0][0])
+	}
+}
+
+func TestUniqueIndex(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	mustExec(t, db, "CREATE TABLE u (a INT, b VARCHAR(8))")
+	mustExec(t, db, "INSERT INTO u VALUES (1, 'x'), (2, 'y')")
+	mustExec(t, db, "CREATE UNIQUE INDEX ub ON u (b)")
+	if _, err := db.Exec("INSERT INTO u VALUES (3, 'x')"); err == nil {
+		t.Fatal("unique index violation accepted")
+	}
+	// Creating a unique index over duplicate data must fail.
+	mustExec(t, db, "CREATE TABLE d (a INT)")
+	mustExec(t, db, "INSERT INTO d VALUES (1), (1)")
+	if _, err := db.Exec("CREATE UNIQUE INDEX da ON d (a)"); err == nil {
+		t.Fatal("unique index over duplicates accepted")
+	}
+}
+
+func TestDropTableAndIndex(t *testing.T) {
+	db := newPatientsDB(t)
+	mustExec(t, db, "CREATE INDEX ig ON Patient (Gender)")
+	mustExec(t, db, "DROP INDEX ig")
+	if _, err := db.Exec("DROP INDEX ig"); err == nil {
+		t.Fatal("double drop index accepted")
+	}
+	mustExec(t, db, "DROP TABLE Patient")
+	if _, err := db.Query("SELECT * FROM Patient"); err == nil {
+		t.Fatal("query after drop table succeeded")
+	}
+	mustExec(t, db, "DROP TABLE IF EXISTS Patient")
+}
+
+func TestTransactionsRollback(t *testing.T) {
+	db := newPatientsDB(t)
+	s := db.NewSession()
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO Patient VALUES (10, 'Tx Person', NULL, 'F', NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE Patient SET Name = 'Renamed' WHERE Patient_Id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("DELETE FROM Patient WHERE Patient_Id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	res := mustQuery(t, db, "SELECT COUNT(*) FROM Patient")
+	if res.Rows[0][0].Int != 4 {
+		t.Errorf("rollback left %v rows", res.Rows[0][0])
+	}
+	res = mustQuery(t, db, "SELECT Name FROM Patient WHERE Patient_Id = 1")
+	if res.Rows[0][0].Str != "Alice Howe" {
+		t.Errorf("update not rolled back: %v", res.Rows[0][0])
+	}
+	res = mustQuery(t, db, "SELECT COUNT(*) FROM Patient WHERE Patient_Id = 2")
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("delete not rolled back")
+	}
+}
+
+func TestTransactionsCommit(t *testing.T) {
+	db := newPatientsDB(t)
+	s := db.NewSession()
+	mustSess := func(sql string) {
+		t.Helper()
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustSess("BEGIN")
+	mustSess("DELETE FROM Patient WHERE Patient_Id = 4")
+	mustSess("COMMIT")
+	res := mustQuery(t, db, "SELECT COUNT(*) FROM Patient")
+	if res.Rows[0][0].Int != 3 {
+		t.Errorf("commit lost: %v", res.Rows[0][0])
+	}
+	if err := s.Rollback(); err == nil {
+		t.Error("rollback with no tx accepted")
+	}
+}
+
+func TestDialectGating(t *testing.T) {
+	msql := NewDatabase("m", DialectMSQL)
+	mustExec(t, msql, "CREATE TABLE t (a INT)")
+	mustExec(t, msql, "INSERT INTO t VALUES (1), (2)")
+	if _, err := msql.Query("SELECT COUNT(*) FROM t"); err == nil {
+		t.Error("mSQL accepted an aggregate")
+	} else if !strings.Contains(err.Error(), "mSQL") {
+		t.Errorf("error does not name the dialect: %v", err)
+	}
+	if _, err := msql.Query("SELECT a FROM t GROUP BY a"); err == nil {
+		t.Error("mSQL accepted GROUP BY")
+	}
+	s := msql.NewSession()
+	if _, err := s.Exec("BEGIN"); err == nil {
+		t.Error("mSQL accepted BEGIN")
+	}
+	// Oracle accepts all of these.
+	ora := NewDatabase("o", DialectOracle)
+	mustExec(t, ora, "CREATE TABLE t (a INT)")
+	if _, err := ora.Query("SELECT COUNT(*) FROM t"); err != nil {
+		t.Errorf("Oracle rejected aggregate: %v", err)
+	}
+}
+
+func TestDialectVarcharCap(t *testing.T) {
+	msql := NewDatabase("m", DialectMSQL)
+	if _, err := msql.Exec("CREATE TABLE big (v VARCHAR(1000))"); err == nil {
+		t.Error("mSQL accepted VARCHAR(1000)")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	bad := []string{
+		"",
+		"SELEC * FROM x",
+		"SELECT FROM x",
+		"SELECT * FROM",
+		"INSERT INTO",
+		"CREATE TABLE t (a BADTYPE)",
+		"SELECT * FROM t WHERE",
+		"SELECT unknownfunc(1)",
+		"SELECT 'unterminated",
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("no error for %q", sql)
+		}
+	}
+}
+
+func TestUnknownColumnAndTableErrors(t *testing.T) {
+	db := newPatientsDB(t)
+	if _, err := db.Query("SELECT nope FROM Patient"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := db.Query("SELECT * FROM missing"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Query("SELECT Patient.Name FROM Patient p"); err == nil {
+		t.Error("original table name usable despite alias")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	mustExec(t, db, "CREATE TABLE a (id INT)")
+	mustExec(t, db, "CREATE TABLE b (id INT)")
+	mustExec(t, db, "INSERT INTO a VALUES (1)")
+	mustExec(t, db, "INSERT INTO b VALUES (1)")
+	if _, err := db.Query("SELECT id FROM a, b"); err == nil {
+		t.Error("ambiguous column accepted")
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustQuery(t, db, "select NAME from PATIENT where patient_id = 1")
+	if res.Rows[0][0].Str != "Alice Howe" {
+		t.Errorf("case-insensitive lookup failed: %v", res.Rows[0])
+	}
+}
+
+func TestEscapedQuote(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	mustExec(t, db, "CREATE TABLE q (s VARCHAR(32))")
+	mustExec(t, db, "INSERT INTO q VALUES ('O''Brien')")
+	res := mustQuery(t, db, "SELECT s FROM q WHERE s = 'O''Brien'")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "O'Brien" {
+		t.Errorf("got %v", res.Rows)
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	db := newPatientsDB(t)
+	res := mustQuery(t, db, "SELECT Patient_Id, Name FROM Patient WHERE Patient_Id = 1")
+	text := res.Format()
+	if !strings.Contains(text, "Alice Howe") || !strings.Contains(text, "Patient_Id") {
+		t.Errorf("format output:\n%s", text)
+	}
+	if !strings.Contains(text, "(1 row(s))") {
+		t.Errorf("missing row count:\n%s", text)
+	}
+}
+
+func TestDateValidation(t *testing.T) {
+	db := newPatientsDB(t)
+	if _, err := db.Exec("INSERT INTO Patient VALUES (7, 'X', 'Jan 1 1990', 'F', NULL)"); err == nil {
+		t.Error("malformed date accepted")
+	}
+}
+
+func TestExecScript(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	res, err := db.ExecScript(`
+		CREATE TABLE s (a INT);
+		INSERT INTO s VALUES (1);
+		INSERT INTO s VALUES (2);
+		SELECT COUNT(*) FROM s;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("script result %v", res.Rows[0][0])
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	res := mustQuery(t, db, "SELECT 40 + 2 AS answer")
+	if res.Columns[0] != "answer" || res.Rows[0][0].Int != 42 {
+		t.Errorf("got %v %v", res.Columns, res.Rows)
+	}
+}
+
+func TestAggregateDistinct(t *testing.T) {
+	db := NewDatabase("t", DialectOracle)
+	mustExec(t, db, "CREATE TABLE v (x INT)")
+	mustExec(t, db, "INSERT INTO v VALUES (1), (1), (2), (NULL)")
+	res := mustQuery(t, db, "SELECT COUNT(DISTINCT x), SUM(DISTINCT x) FROM v")
+	if res.Rows[0][0].Int != 2 || res.Rows[0][1].Int != 3 {
+		t.Errorf("distinct aggregates: %v", res.Rows[0])
+	}
+}

@@ -1,0 +1,124 @@
+package relational
+
+import "fmt"
+
+// Dialect is a vendor capability profile. The paper's prototype federates
+// Oracle, mSQL, DB2 and Sybase behind one gateway; those engines accepted
+// visibly different SQL subsets, which the federation layer must route
+// around. A Dialect gates which statements the engine instance accepts, so
+// the heterogeneity the paper copes with is real in the reproduction.
+type Dialect struct {
+	Name string
+	// Capability flags.
+	Joins        bool // explicit JOIN and multi-table FROM
+	Aggregates   bool // COUNT/SUM/AVG/MIN/MAX and GROUP BY/HAVING
+	Transactions bool // BEGIN/COMMIT/ROLLBACK
+	OrderLimit   bool // ORDER BY ... LIMIT
+	Distinct     bool
+	Subqueries   bool // IN (SELECT ...) and EXISTS (SELECT ...)
+	Union        bool // UNION / UNION ALL
+	MaxVarchar   int  // upper bound for declared VARCHAR sizes (0 = unlimited)
+}
+
+// Vendor dialect profiles. Feature sets follow the engines' late-1990s
+// behaviour in the ways that matter to WebFINDIT: mSQL (MiniSQL 2.x) had no
+// aggregate functions, GROUP BY or transactions, which forces the wrapper
+// layer to compensate — exactly the heterogeneity the paper's gateway layer
+// bridges.
+var (
+	DialectOracle = Dialect{
+		Name: "Oracle", Joins: true, Aggregates: true, Transactions: true,
+		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, MaxVarchar: 4000,
+	}
+	DialectMSQL = Dialect{
+		Name: "mSQL", Joins: true, Aggregates: false, Transactions: false,
+		OrderLimit: true, Distinct: true, Subqueries: false, Union: false, MaxVarchar: 255,
+	}
+	DialectDB2 = Dialect{
+		Name: "DB2", Joins: true, Aggregates: true, Transactions: true,
+		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, MaxVarchar: 4000,
+	}
+	DialectSybase = Dialect{
+		Name: "Sybase", Joins: true, Aggregates: true, Transactions: true,
+		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, MaxVarchar: 255,
+	}
+)
+
+// DialectByName resolves a vendor name.
+func DialectByName(name string) (Dialect, error) {
+	switch name {
+	case "Oracle":
+		return DialectOracle, nil
+	case "mSQL":
+		return DialectMSQL, nil
+	case "DB2":
+		return DialectDB2, nil
+	case "Sybase":
+		return DialectSybase, nil
+	}
+	return Dialect{}, fmt.Errorf("relational: unknown dialect %q", name)
+}
+
+// Check rejects statements outside the dialect's capability set with an
+// error shaped like the vendor's ("feature not supported").
+func (d Dialect) Check(stmt Statement) error {
+	unsupported := func(feature string) error {
+		return fmt.Errorf("relational: %s does not support %s", d.Name, feature)
+	}
+	switch s := stmt.(type) {
+	case *ExplainStmt:
+		return d.Check(s.Query)
+	case *SelectStmt:
+		if !d.Union && s.Union != nil {
+			return unsupported("UNION")
+		}
+		if !d.Subqueries {
+			for _, e := range []Expr{s.Where, s.Having} {
+				if e != nil && hasSubquery(e) {
+					return unsupported("subqueries")
+				}
+			}
+			for _, it := range s.Items {
+				if it.Expr != nil && hasSubquery(it.Expr) {
+					return unsupported("subqueries")
+				}
+			}
+		}
+		if !d.Joins && (len(s.From) > 1 || len(s.Joins) > 0) {
+			return unsupported("joins")
+		}
+		if !d.Aggregates {
+			if len(s.GroupBy) > 0 || s.Having != nil {
+				return unsupported("GROUP BY / HAVING")
+			}
+			for _, item := range s.Items {
+				if item.Expr != nil && hasAggregate(item.Expr) {
+					return unsupported("aggregate functions")
+				}
+			}
+			if s.Where != nil && hasAggregate(s.Where) {
+				return unsupported("aggregate functions")
+			}
+		}
+		if !d.Distinct && s.Distinct {
+			return unsupported("DISTINCT")
+		}
+		if !d.OrderLimit && (len(s.OrderBy) > 0 || s.Limit >= 0) {
+			return unsupported("ORDER BY / LIMIT")
+		}
+	case *CreateTableStmt:
+		if d.MaxVarchar > 0 {
+			for _, c := range s.Schema.Columns {
+				if c.Size > d.MaxVarchar {
+					return fmt.Errorf("relational: %s limits VARCHAR to %d (column %s asks %d)",
+						d.Name, d.MaxVarchar, c.Name, c.Size)
+				}
+			}
+		}
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		if !d.Transactions {
+			return unsupported("transactions")
+		}
+	}
+	return nil
+}

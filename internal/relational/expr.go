@@ -1,0 +1,467 @@
+package relational
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// colBinding names one column visible to an expression: qualifier (table or
+// alias, lower-cased) plus column name (lower-cased).
+type colBinding struct {
+	table string
+	name  string
+}
+
+// evalEnv is the environment expressions are evaluated in: the visible
+// column bindings, the current row, optional select-item aliases, and — in
+// the aggregate phase — precomputed aggregate results keyed by the
+// aggregate's rendered text.
+type evalEnv struct {
+	cols    []colBinding
+	row     Row
+	aliases map[string]int   // alias (lower) -> env column ordinal
+	aggs    map[string]Value // e.g. "COUNT(*)" -> value
+}
+
+// resolve maps a column reference to its ordinal in the env.
+func (env *evalEnv) resolve(c *ColRef) (int, error) {
+	tbl := strings.ToLower(c.Table)
+	name := strings.ToLower(c.Name)
+	if tbl == "" {
+		if env.aliases != nil {
+			if ord, ok := env.aliases[name]; ok {
+				return ord, nil
+			}
+		}
+		found := -1
+		for i, b := range env.cols {
+			if b.name == name {
+				if found >= 0 {
+					return 0, fmt.Errorf("sql: ambiguous column %s", c.Name)
+				}
+				found = i
+			}
+		}
+		if found < 0 {
+			return 0, fmt.Errorf("sql: unknown column %s", c.Name)
+		}
+		return found, nil
+	}
+	for i, b := range env.cols {
+		if b.table == tbl && b.name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sql: unknown column %s.%s", c.Table, c.Name)
+}
+
+// eval evaluates an expression against the environment.
+func eval(e Expr, env *evalEnv) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColRef:
+		ord, err := env.resolve(x)
+		if err != nil {
+			return Value{}, err
+		}
+		return env.row[ord], nil
+	case *Unary:
+		return evalUnary(x, env)
+	case *Binary:
+		return evalBinary(x, env)
+	case *IsNull:
+		v, err := eval(x.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Negate {
+			return BoolValue(!v.Null), nil
+		}
+		return BoolValue(v.Null), nil
+	case *InList:
+		return evalIn(x, env)
+	case *Between:
+		return evalBetween(x, env)
+	case *Subquery:
+		return Value{}, fmt.Errorf("sql: unresolved subquery (internal error)")
+	case *FuncCall:
+		if x.IsAggregate() {
+			if env.aggs != nil {
+				if v, ok := env.aggs[x.String()]; ok {
+					return v, nil
+				}
+			}
+			return Value{}, fmt.Errorf("sql: aggregate %s used outside aggregation context", x.Name)
+		}
+		return evalScalarFunc(x, env)
+	}
+	return Value{}, fmt.Errorf("sql: cannot evaluate %T", e)
+}
+
+func evalUnary(x *Unary, env *evalEnv) (Value, error) {
+	v, err := eval(x.X, env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "-":
+		if v.Null {
+			return NullValue(), nil
+		}
+		switch v.Kind {
+		case TypeInt:
+			return IntValue(-v.Int), nil
+		case TypeFloat:
+			return FloatValue(-v.Float), nil
+		}
+		return Value{}, fmt.Errorf("sql: cannot negate %s value", v.Kind)
+	case "NOT":
+		if v.Null {
+			return NullValue(), nil
+		}
+		b, ok := v.Truthy()
+		if !ok {
+			return Value{}, fmt.Errorf("sql: NOT applied to %s value", v.Kind)
+		}
+		return BoolValue(!b), nil
+	}
+	return Value{}, fmt.Errorf("sql: unknown unary operator %s", x.Op)
+}
+
+func evalBinary(x *Binary, env *evalEnv) (Value, error) {
+	// AND/OR implement three-valued logic with short-circuiting.
+	if x.Op == "AND" || x.Op == "OR" {
+		l, err := eval(x.L, env)
+		if err != nil {
+			return Value{}, err
+		}
+		lb, lok := l.Truthy()
+		if x.Op == "AND" {
+			if lok && !lb {
+				return BoolValue(false), nil
+			}
+			r, err := eval(x.R, env)
+			if err != nil {
+				return Value{}, err
+			}
+			rb, rok := r.Truthy()
+			switch {
+			case rok && !rb:
+				return BoolValue(false), nil
+			case lok && rok:
+				return BoolValue(lb && rb), nil
+			default:
+				return NullValue(), nil
+			}
+		}
+		if lok && lb {
+			return BoolValue(true), nil
+		}
+		r, err := eval(x.R, env)
+		if err != nil {
+			return Value{}, err
+		}
+		rb, rok := r.Truthy()
+		switch {
+		case rok && rb:
+			return BoolValue(true), nil
+		case lok && rok:
+			return BoolValue(lb || rb), nil
+		default:
+			return NullValue(), nil
+		}
+	}
+
+	l, err := eval(x.L, env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := eval(x.R, env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.Null || r.Null {
+			return NullValue(), nil
+		}
+		c := Compare(l, r)
+		switch x.Op {
+		case "=":
+			return BoolValue(c == 0), nil
+		case "<>":
+			return BoolValue(c != 0), nil
+		case "<":
+			return BoolValue(c < 0), nil
+		case "<=":
+			return BoolValue(c <= 0), nil
+		case ">":
+			return BoolValue(c > 0), nil
+		default:
+			return BoolValue(c >= 0), nil
+		}
+	case "LIKE":
+		if l.Null || r.Null {
+			return NullValue(), nil
+		}
+		return BoolValue(matchLike(l.String(), r.String())), nil
+	case "||":
+		if l.Null || r.Null {
+			return NullValue(), nil
+		}
+		return TextValue(l.String() + r.String()), nil
+	case "+", "-", "*", "/", "%":
+		return evalArith(x.Op, l, r)
+	}
+	return Value{}, fmt.Errorf("sql: unknown operator %s", x.Op)
+}
+
+func evalArith(op string, l, r Value) (Value, error) {
+	if l.Null || r.Null {
+		return NullValue(), nil
+	}
+	if l.Kind == TypeInt && r.Kind == TypeInt {
+		switch op {
+		case "+":
+			return IntValue(l.Int + r.Int), nil
+		case "-":
+			return IntValue(l.Int - r.Int), nil
+		case "*":
+			return IntValue(l.Int * r.Int), nil
+		case "/":
+			if r.Int == 0 {
+				return Value{}, fmt.Errorf("sql: division by zero")
+			}
+			return IntValue(l.Int / r.Int), nil
+		case "%":
+			if r.Int == 0 {
+				return Value{}, fmt.Errorf("sql: division by zero")
+			}
+			return IntValue(l.Int % r.Int), nil
+		}
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return Value{}, fmt.Errorf("sql: arithmetic on non-numeric values (%s %s %s)", l.Kind, op, r.Kind)
+	}
+	switch op {
+	case "+":
+		return FloatValue(lf + rf), nil
+	case "-":
+		return FloatValue(lf - rf), nil
+	case "*":
+		return FloatValue(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("sql: division by zero")
+		}
+		return FloatValue(lf / rf), nil
+	case "%":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("sql: division by zero")
+		}
+		return FloatValue(math.Mod(lf, rf)), nil
+	}
+	return Value{}, fmt.Errorf("sql: unknown arithmetic operator %s", op)
+}
+
+func evalIn(x *InList, env *evalEnv) (Value, error) {
+	v, err := eval(x.X, env)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Null {
+		return NullValue(), nil
+	}
+	sawNull := false
+	for _, item := range x.List {
+		iv, err := eval(item, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if iv.Null {
+			sawNull = true
+			continue
+		}
+		if Compare(v, iv) == 0 {
+			return BoolValue(!x.Negate), nil
+		}
+	}
+	if sawNull {
+		return NullValue(), nil
+	}
+	return BoolValue(x.Negate), nil
+}
+
+func evalBetween(x *Between, env *evalEnv) (Value, error) {
+	v, err := eval(x.X, env)
+	if err != nil {
+		return Value{}, err
+	}
+	lo, err := eval(x.Lo, env)
+	if err != nil {
+		return Value{}, err
+	}
+	hi, err := eval(x.Hi, env)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Null || lo.Null || hi.Null {
+		return NullValue(), nil
+	}
+	in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+	if x.Negate {
+		in = !in
+	}
+	return BoolValue(in), nil
+}
+
+func evalScalarFunc(f *FuncCall, env *evalEnv) (Value, error) {
+	args := make([]Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := eval(a, env)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sql: %s takes %d argument(s), got %d", f.Name, n, len(args))
+		}
+		return nil
+	}
+	switch f.Name {
+	case "UPPER":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if args[0].Null {
+			return NullValue(), nil
+		}
+		return TextValue(strings.ToUpper(args[0].String())), nil
+	case "LOWER":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if args[0].Null {
+			return NullValue(), nil
+		}
+		return TextValue(strings.ToLower(args[0].String())), nil
+	case "LENGTH":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if args[0].Null {
+			return NullValue(), nil
+		}
+		return IntValue(int64(len(args[0].String()))), nil
+	case "TRIM":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if args[0].Null {
+			return NullValue(), nil
+		}
+		return TextValue(strings.TrimSpace(args[0].String())), nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		v := args[0]
+		if v.Null {
+			return NullValue(), nil
+		}
+		switch v.Kind {
+		case TypeInt:
+			if v.Int < 0 {
+				return IntValue(-v.Int), nil
+			}
+			return v, nil
+		case TypeFloat:
+			return FloatValue(math.Abs(v.Float)), nil
+		}
+		return Value{}, fmt.Errorf("sql: ABS of non-numeric value")
+	case "ROUND":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		v := args[0]
+		if v.Null {
+			return NullValue(), nil
+		}
+		fv, ok := v.AsFloat()
+		if !ok {
+			return Value{}, fmt.Errorf("sql: ROUND of non-numeric value")
+		}
+		return FloatValue(math.Round(fv)), nil
+	case "COALESCE":
+		for _, v := range args {
+			if !v.Null {
+				return v, nil
+			}
+		}
+		return NullValue(), nil
+	case "SUBSTR":
+		if len(args) != 2 && len(args) != 3 {
+			return Value{}, fmt.Errorf("sql: SUBSTR takes 2 or 3 arguments")
+		}
+		if args[0].Null || args[1].Null {
+			return NullValue(), nil
+		}
+		s := args[0].String()
+		start := int(args[1].Int) - 1 // SQL SUBSTR is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return TextValue(""), nil
+		}
+		end := len(s)
+		if len(args) == 3 {
+			if args[2].Null {
+				return NullValue(), nil
+			}
+			if n := int(args[2].Int); start+n < end {
+				end = start + n
+			}
+		}
+		return TextValue(s[start:end]), nil
+	}
+	return Value{}, fmt.Errorf("sql: unknown function %s", f.Name)
+}
+
+// matchLike implements SQL LIKE with % and _ wildcards (case-sensitive).
+func matchLike(s, pattern string) bool {
+	return likeMatch(s, pattern)
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative two-pointer matcher with backtracking on '%'.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

@@ -1,0 +1,326 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Index is a secondary (or primary-key) index over one or more columns. The
+// key for a single-column index is the column value itself, which enables
+// range scans; multi-column keys are encoded strings and support equality
+// only.
+type Index struct {
+	Name   string
+	Cols   []int
+	Unique bool
+	tree   *btree
+}
+
+func (ix *Index) keyFor(row Row) Value {
+	if len(ix.Cols) == 1 {
+		return row[ix.Cols[0]]
+	}
+	vals := make([]Value, len(ix.Cols))
+	for i, c := range ix.Cols {
+		vals[i] = row[c]
+	}
+	return TextValue(encodeKey(vals))
+}
+
+// Table is one heap-organised table with optional indexes. All access is
+// mediated by the owning Database's lock.
+type Table struct {
+	schema  Schema
+	rows    map[int64]Row
+	order   []int64        // insertion order; may contain IDs of deleted rows
+	inOrder map[int64]bool // IDs present in order (live or tombstoned)
+	holes   int            // deleted entries still present in order
+	nextID  int64
+	indexes map[string]*Index // by lower-cased index name
+	pk      *Index            // non-nil when the schema has a primary key
+}
+
+func newTable(schema Schema) *Table {
+	t := &Table{
+		schema:  schema,
+		rows:    make(map[int64]Row),
+		inOrder: make(map[int64]bool),
+		indexes: make(map[string]*Index),
+	}
+	if len(schema.PrimaryKey) > 0 {
+		t.pk = &Index{
+			Name:   "pk_" + strings.ToLower(schema.Name),
+			Cols:   append([]int(nil), schema.PrimaryKey...),
+			Unique: true,
+			tree:   newBTree(),
+		}
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return &t.schema }
+
+// Len reports the live row count.
+func (t *Table) Len() int { return len(t.rows) }
+
+// checkRow validates a row against column constraints and coerces values to
+// the declared types.
+func (t *Table) checkRow(row Row) (Row, error) {
+	if len(row) != len(t.schema.Columns) {
+		return nil, fmt.Errorf("relational: table %s expects %d values, got %d",
+			t.schema.Name, len(t.schema.Columns), len(row))
+	}
+	out := make(Row, len(row))
+	for i, col := range t.schema.Columns {
+		v, err := Coerce(row[i], col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("relational: table %s column %s: %w", t.schema.Name, col.Name, err)
+		}
+		if v.Null && col.NotNull {
+			return nil, fmt.Errorf("relational: table %s column %s: NULL not allowed", t.schema.Name, col.Name)
+		}
+		if col.Size > 0 && !v.Null && len(v.Str) > col.Size {
+			return nil, fmt.Errorf("relational: table %s column %s: value exceeds VARCHAR(%d)",
+				t.schema.Name, col.Name, col.Size)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// insert adds a row, enforcing uniqueness, and returns its row ID.
+func (t *Table) insert(row Row) (int64, error) {
+	row, err := t.checkRow(row)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.checkUnique(row, -1); err != nil {
+		return 0, err
+	}
+	t.nextID++
+	id := t.nextID
+	t.rows[id] = row
+	t.order = append(t.order, id)
+	t.inOrder[id] = true
+	t.indexRow(id, row)
+	return id, nil
+}
+
+// insertWithID restores a row under a prior ID (transaction rollback path).
+// If the ID's tombstone is still in the scan order, the row reappears at its
+// original position.
+func (t *Table) insertWithID(id int64, row Row) error {
+	if _, exists := t.rows[id]; exists {
+		return fmt.Errorf("relational: table %s: row %d already exists", t.schema.Name, id)
+	}
+	t.rows[id] = row
+	if t.inOrder[id] {
+		t.holes--
+	} else {
+		t.order = append(t.order, id)
+		t.inOrder[id] = true
+	}
+	t.indexRow(id, row)
+	return nil
+}
+
+func (t *Table) checkUnique(row Row, skipID int64) error {
+	check := func(ix *Index, label string) error {
+		key := ix.keyFor(row)
+		if key.Null {
+			return nil // NULLs never collide, per SQL
+		}
+		for _, id := range ix.tree.Lookup(key) {
+			if id != skipID {
+				return fmt.Errorf("relational: table %s: duplicate %s value %s",
+					t.schema.Name, label, key)
+			}
+		}
+		return nil
+	}
+	if t.pk != nil {
+		if err := check(t.pk, "primary key"); err != nil {
+			return err
+		}
+	}
+	for _, ix := range t.indexes {
+		if !ix.Unique {
+			continue
+		}
+		if err := check(ix, "unique index "+ix.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) indexRow(id int64, row Row) {
+	if t.pk != nil {
+		t.pk.tree.Insert(t.pk.keyFor(row), id)
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Insert(ix.keyFor(row), id)
+	}
+}
+
+func (t *Table) unindexRow(id int64, row Row) {
+	if t.pk != nil {
+		t.pk.tree.Delete(t.pk.keyFor(row), id)
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Delete(ix.keyFor(row), id)
+	}
+}
+
+// delete removes the row with the given ID and returns the old row.
+func (t *Table) delete(id int64) (Row, error) {
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("relational: table %s: no row %d", t.schema.Name, id)
+	}
+	delete(t.rows, id)
+	t.unindexRow(id, row)
+	t.holes++
+	t.maybeCompactOrder()
+	return row, nil
+}
+
+// update replaces the row with the given ID and returns the old row.
+func (t *Table) update(id int64, newRow Row) (Row, error) {
+	old, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("relational: table %s: no row %d", t.schema.Name, id)
+	}
+	newRow, err := t.checkRow(newRow)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.checkUnique(newRow, id); err != nil {
+		return nil, err
+	}
+	t.unindexRow(id, old)
+	t.rows[id] = newRow
+	t.indexRow(id, newRow)
+	return old, nil
+}
+
+// maybeCompactOrder drops deleted IDs from the scan order when they dominate.
+func (t *Table) maybeCompactOrder() {
+	if t.holes < 64 || t.holes*2 < len(t.order) {
+		return
+	}
+	live := t.order[:0]
+	for _, id := range t.order {
+		if _, ok := t.rows[id]; ok {
+			live = append(live, id)
+		} else {
+			delete(t.inOrder, id)
+		}
+	}
+	t.order = live
+	t.holes = 0
+}
+
+// scan visits live rows in insertion order; fn returns false to stop.
+func (t *Table) scan(fn func(id int64, row Row) bool) {
+	for _, id := range t.order {
+		row, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		if !fn(id, row) {
+			return
+		}
+	}
+}
+
+// lookupEqual returns IDs of rows whose indexed column equals v, given any
+// index covering exactly that single column. Returns ok=false when no such
+// index exists.
+func (t *Table) lookupEqual(col int, v Value) ([]int64, bool) {
+	ix := t.singleColIndex(col)
+	if ix == nil {
+		return nil, false
+	}
+	return append([]int64(nil), ix.tree.Lookup(v)...), true
+}
+
+// rangeScan visits row IDs with lo <= key <= hi on a single-column index.
+func (t *Table) rangeScan(col int, lo, hi *Value, loIncl, hiIncl bool, fn func(id int64) bool) bool {
+	ix := t.singleColIndex(col)
+	if ix == nil {
+		return false
+	}
+	ix.tree.Range(lo, hi, loIncl, hiIncl, func(_ Value, ids []int64) bool {
+		for _, id := range ids {
+			if !fn(id) {
+				return false
+			}
+		}
+		return true
+	})
+	return true
+}
+
+func (t *Table) singleColIndex(col int) *Index {
+	if t.pk != nil && len(t.pk.Cols) == 1 && t.pk.Cols[0] == col {
+		return t.pk
+	}
+	for _, ix := range t.indexes {
+		if len(ix.Cols) == 1 && ix.Cols[0] == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// createIndex builds a new secondary index over an existing table.
+func (t *Table) createIndex(name string, col int, unique bool) error {
+	key := strings.ToLower(name)
+	if _, exists := t.indexes[key]; exists {
+		return fmt.Errorf("relational: index %s already exists", name)
+	}
+	ix := &Index{Name: name, Cols: []int{col}, Unique: unique, tree: newBTree()}
+	// Verify uniqueness before publishing the index.
+	if unique {
+		seen := make(map[string]bool, len(t.rows))
+		for _, row := range t.rows {
+			v := ix.keyFor(row)
+			if v.Null {
+				continue
+			}
+			k := encodeKey([]Value{v})
+			if seen[k] {
+				return fmt.Errorf("relational: cannot create unique index %s: duplicate value %s", name, v)
+			}
+			seen[k] = true
+		}
+	}
+	t.scan(func(id int64, row Row) bool {
+		ix.tree.Insert(ix.keyFor(row), id)
+		return true
+	})
+	t.indexes[key] = ix
+	return nil
+}
+
+func (t *Table) dropIndex(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := t.indexes[key]; !ok {
+		return fmt.Errorf("relational: no index %s on table %s", name, t.schema.Name)
+	}
+	delete(t.indexes, key)
+	return nil
+}
+
+// IndexNames lists the table's secondary indexes, sorted.
+func (t *Table) IndexNames() []string {
+	names := make([]string, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		names = append(names, ix.Name)
+	}
+	sort.Strings(names)
+	return names
+}

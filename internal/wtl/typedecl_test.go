@@ -1,0 +1,86 @@
+package wtl
+
+import "testing"
+
+func TestParseTypeDeclPaperExamples(t *testing.T) {
+	// The paper's PatientHistory declaration, verbatim shape (§2.2).
+	src := `
+Type PatientHistory {
+    attribute string Patient.Name;
+    attribute int History.DateRecorded;
+    function string Description(string Patient.Name, int History.DateRecorded);
+}`
+	decls, err := ParseTypeDecls(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 1 {
+		t.Fatalf("decls = %d", len(decls))
+	}
+	td := decls[0]
+	if td.Name != "PatientHistory" {
+		t.Errorf("name = %s", td.Name)
+	}
+	if len(td.Attributes) != 2 || td.Attributes[0].Name != "Patient.Name" ||
+		td.Attributes[0].Type != "string" {
+		t.Errorf("attributes = %+v", td.Attributes)
+	}
+	if len(td.Functions) != 1 {
+		t.Fatalf("functions = %+v", td.Functions)
+	}
+	fn := td.Functions[0]
+	if fn.Name != "Description" || fn.Returns != "string" || len(fn.Args) != 2 {
+		t.Errorf("function = %+v", fn)
+	}
+}
+
+func TestParseTypeDeclWithPredicateAndFormals(t *testing.T) {
+	// The paper's ResearchProjects declaration writes a named formal and
+	// the Predicate(x) pseudo-argument.
+	src := `Type ResearchProjects {
+    attribute string ResearchProjects.Title;
+    function real Funding(string ResearchProjects.Title x, Predicate(x));
+};`
+	decls, err := ParseTypeDecls(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := decls[0].Functions[0]
+	if fn.Name != "Funding" || fn.Returns != "real" {
+		t.Errorf("function = %+v", fn)
+	}
+	if len(fn.Args) != 1 || fn.Args[0].Name != "ResearchProjects.Title" {
+		t.Errorf("args = %+v", fn.Args)
+	}
+}
+
+func TestParseMultipleTypeDecls(t *testing.T) {
+	src := `
+Type A { attribute string X.Y; }
+Type B { function int F(string X.Y); }
+`
+	decls, err := ParseTypeDecls(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 2 || decls[0].Name != "A" || decls[1].Name != "B" {
+		t.Errorf("decls = %+v", decls)
+	}
+}
+
+func TestParseTypeDeclErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Type {}",
+		"Type X {",
+		"Type X { wombat string a; }",
+		"Type X { attribute ; }",
+		"Type X { function F(; }",
+		"NotAType X {}",
+	}
+	for _, src := range bad {
+		if _, err := ParseTypeDecls(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
