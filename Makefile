@@ -1,0 +1,31 @@
+# Convenience targets for the WebFINDIT reproduction. Everything is plain
+# go tooling; the targets only bundle the invocations CI and EXPERIMENTS.md
+# rely on.
+
+GO ?= go
+
+.PHONY: verify race bench test build vet
+
+# verify is the tier-1 gate: build + vet + full test suite.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# race runs the full suite under the race detector (the multiplexed IIOP
+# layer and the parallel coalition fan-out are exercised concurrently).
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the benchmark series recorded in EXPERIMENTS.md.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...

@@ -9,10 +9,13 @@ package repro_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cdr"
+	"repro/internal/codb"
 	"repro/internal/core"
 	"repro/internal/gateway"
 	"repro/internal/giop"
@@ -20,6 +23,7 @@ import (
 	"repro/internal/medworld"
 	"repro/internal/oodb"
 	"repro/internal/orb"
+	"repro/internal/query"
 	"repro/internal/relational"
 	"repro/internal/wtl"
 )
@@ -119,6 +123,30 @@ func BenchmarkInvokeIIOP(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkInvokeIIOPParallel drives the same socket invocation from many
+// concurrent callers. The client multiplexes them over one pipelined IIOP
+// connection, so throughput should scale well past the serial
+// BenchmarkInvokeIIOP number: callers overlap their round-trip latencies
+// instead of queueing for a connection.
+func BenchmarkInvokeIIOPParallel(b *testing.B) {
+	_, ref := newEchoORB(b, true)
+	arg := idl.String("ping")
+	// Ensure at least 8 concurrent callers even on a single-core runner
+	// (RunParallel starts SetParallelism × GOMAXPROCS goroutines).
+	if p := runtime.GOMAXPROCS(0); p < 8 {
+		b.SetParallelism((8 + p - 1) / p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := ref.Invoke("echo", arg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---- B4: data-layer engine costs ----
@@ -306,6 +334,130 @@ func BenchmarkDataQueryIIOP(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- B2 (continued): coalition query decomposition, serial vs parallel ----
+
+// slowConn is a gateway connection whose queries take a fixed wall-clock
+// time, standing in for a remote member database reached over a WAN. It
+// makes the fan-out benchmarks latency-bound rather than CPU-bound, which is
+// the regime the parallel decomposition targets.
+type slowConn struct {
+	name  string
+	delay time.Duration
+}
+
+func (c *slowConn) Query(q string) (*gateway.Result, error) {
+	time.Sleep(c.delay)
+	return &gateway.Result{
+		Columns: []string{"v"},
+		Rows:    [][]idl.Any{{idl.String(c.name)}},
+	}, nil
+}
+func (c *slowConn) Exec(q string) (*gateway.Result, error) { return c.Query(q) }
+func (c *slowConn) Begin() error                           { return nil }
+func (c *slowConn) Commit() error                          { return nil }
+func (c *slowConn) Rollback() error                        { return nil }
+func (c *slowConn) Meta() gateway.SourceMeta {
+	return gateway.SourceMeta{Engine: core.EngineMSQL, Database: c.name, Model: "relational"}
+}
+func (c *slowConn) Tables() []string { return []string{"t"} }
+func (c *slowConn) Close() error     { return nil }
+
+// buildSlowFed wires a coalition of n members whose ISIs answer after delay,
+// returning a query processor homed on the coalition's co-database.
+func buildSlowFed(b *testing.B, n int, delay time.Duration) *query.Processor {
+	b.Helper()
+	o := orb.New(orb.Options{Product: orb.Orbix})
+	if err := o.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(o.Shutdown)
+	home := codb.New("slow-home")
+	if err := home.DefineCoalition("SlowTopic", "", "synthetic slow members"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("slow-%02d", i)
+		ior, err := o.Activate("ISI/"+name, gateway.NewISIServant(&slowConn{name: name, delay: delay}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := &codb.SourceDescriptor{
+			Name:   name,
+			Engine: core.EngineMSQL,
+			ISIRef: orb.Stringify(ior),
+			Interface: []codb.ExportedType{{
+				Name: "Records",
+				Functions: []codb.ExportedFunction{{
+					Name: "Fetch", Returns: "string", Table: "t", ResultColumn: "v",
+				}},
+			}},
+		}
+		if err := home.AddMember("SlowTopic", d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	codbIOR, err := o.Activate("CoDatabase/slow-home", codb.NewServant(home))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := query.New(query.Config{
+		ORB:       o,
+		Home:      "slow-home",
+		Local:     codb.NewClient(o.Resolve(codbIOR)),
+		LocalCoDB: home,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkCoalitionFanOut measures coalition query decomposition with the
+// member calls issued serially (FanOut=1, the pre-parallel behaviour) and in
+// parallel (FanOut=0, bounded worker pool). The medworld pair runs the real
+// healthcare federation in-process; the slowfed pair gives every member a
+// fixed 2ms service time, so serial latency grows with the member count
+// while parallel latency tracks the slowest member.
+func BenchmarkCoalitionFanOut(b *testing.B) {
+	const medQ = `Budget(Projects.Title) On Coalition Research;`
+	runMed := func(b *testing.B, fanOut int) {
+		w := getBenchWorld(b)
+		qut, _ := w.Node(medworld.QUT)
+		qut.Processor.SetFanOut(fanOut)
+		b.Cleanup(func() { qut.Processor.SetFanOut(0) })
+		s := qut.NewSession()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Execute(medQ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("medworld/serial", func(b *testing.B) { runMed(b, 1) })
+	b.Run("medworld/parallel", func(b *testing.B) { runMed(b, 0) })
+
+	const members = 8
+	const delay = 2 * time.Millisecond
+	const slowQ = `Fetch(Records.V) On Coalition SlowTopic;`
+	runSlow := func(b *testing.B, fanOut int) {
+		p := buildSlowFed(b, members, delay)
+		p.SetFanOut(fanOut)
+		s := p.NewSession()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := s.Execute(slowQ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Result.Rows) != members {
+				b.Fatalf("rows = %d, want %d", len(resp.Result.Rows), members)
+			}
+		}
+	}
+	b.Run("slowfed/serial", func(b *testing.B) { runSlow(b, 1) })
+	b.Run("slowfed/parallel", func(b *testing.B) { runSlow(b, 0) })
 }
 
 // ---- B1: resolution latency vs federation size, two-level vs flat ----

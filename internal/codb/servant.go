@@ -174,7 +174,10 @@ func NewServant(cd *CoDatabase) orb.Servant {
 
 // Client is a typed client for a (possibly remote) co-database servant. The
 // query processor works exclusively through this interface, so local and
-// remote metadata are handled identically.
+// remote metadata are handled identically. A Client is stateless over its
+// object reference and safe for concurrent use: the query layer's parallel
+// member fan-out reuses one Client across many in-flight calls, which the
+// ORB pipelines over a shared multiplexed IIOP connection.
 type Client struct {
 	ref *orb.ObjectRef
 }

@@ -10,6 +10,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"repro/internal/cdr"
 )
@@ -118,9 +120,22 @@ func NewBodyEncoder(order cdr.ByteOrder) *cdr.Encoder {
 	return cdr.NewEncoderAt(order, HeaderSize)
 }
 
-// Write frames and writes the message. It is not safe for concurrent use on
-// the same writer without external locking.
+// Write frames and writes the message, flushing when w is buffered. It is
+// not safe for concurrent use on the same writer without external locking;
+// when frames from multiple goroutines share one stream (multiplexed IIOP),
+// wrap the stream in a SyncWriter instead.
 func Write(w io.Writer, m *Message) error {
+	if err := writeFrame(w, m); err != nil {
+		return err
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		return bw.Flush()
+	}
+	return nil
+}
+
+// writeFrame frames and writes the message without flushing.
+func writeFrame(w io.Writer, m *Message) error {
 	if len(m.Body) > MaxMessageSize {
 		return fmt.Errorf("giop: message body %d exceeds limit", len(m.Body))
 	}
@@ -139,10 +154,129 @@ func Write(w io.Writer, m *Message) error {
 			return fmt.Errorf("giop: write body: %w", err)
 		}
 	}
+	return nil
+}
+
+// SyncWriter serializes framed writes to a shared stream. Multiplexed IIOP
+// interleaves many requests (client side) or replies (server side) on one
+// connection; SyncWriter guarantees whole frames are written atomically with
+// respect to each other, which is the only ordering GIOP requires (replies
+// are matched to requests by ID, not by position in the stream).
+//
+// When the stream is a *bufio.Writer, flushing is coalesced: Write leaves
+// the frame in the buffer and kicks a flusher goroutine, which runs once the
+// writers have yielded and pushes every buffered frame to the kernel in a
+// single syscall. Under pipelining a whole round of requests (or replies)
+// leaves as one write; a lone writer costs the same one syscall it always
+// did, plus a goroutine hand-off. A flush failure is reported through the
+// onErr callback (the writers that buffered those frames have already
+// returned) and sticks: subsequent Writes fail immediately.
+type SyncWriter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	bw    *bufio.Writer // non-nil when w buffers; enables coalesced flushing
+	dirty bool
+	err   error // sticky first write/flush error
+
+	kick      chan struct{} // cap 1: wake the flusher
+	done      chan struct{}
+	closeOnce sync.Once
+	onErr     func(error)
+}
+
+var errWriterClosed = fmt.Errorf("giop: writer closed")
+
+// NewSyncWriter wraps w for concurrent framed writes. onErr, which may be
+// nil, is called at most once if an asynchronous flush fails; callers use it
+// to tear down the connection, since already-buffered frames are lost.
+func NewSyncWriter(w io.Writer, onErr func(error)) *SyncWriter {
+	sw := &SyncWriter{w: w, onErr: onErr}
 	if bw, ok := w.(*bufio.Writer); ok {
-		return bw.Flush()
+		sw.bw = bw
+		sw.kick = make(chan struct{}, 1)
+		sw.done = make(chan struct{})
+		go sw.flusher()
+	}
+	return sw
+}
+
+// Write frames and buffers one message atomically relative to other Write
+// calls on the same SyncWriter, scheduling a coalesced flush.
+func (sw *SyncWriter) Write(m *Message) error {
+	sw.mu.Lock()
+	if sw.err != nil {
+		err := sw.err
+		sw.mu.Unlock()
+		return err
+	}
+	if err := writeFrame(sw.w, m); err != nil {
+		sw.err = err
+		sw.mu.Unlock()
+		return err
+	}
+	if sw.bw == nil {
+		sw.mu.Unlock()
+		return nil
+	}
+	sw.dirty = true
+	sw.mu.Unlock()
+	select {
+	case sw.kick <- struct{}{}:
+	default: // a wake-up is already pending
 	}
 	return nil
+}
+
+// Close stops the flusher after a final flush. Writes after Close fail.
+func (sw *SyncWriter) Close() {
+	sw.closeOnce.Do(func() {
+		if sw.done != nil {
+			close(sw.done)
+		}
+		sw.mu.Lock()
+		if sw.err == nil {
+			if sw.dirty {
+				sw.bw.Flush()
+				sw.dirty = false
+			}
+			sw.err = errWriterClosed
+		}
+		sw.mu.Unlock()
+	})
+}
+
+// flusher pushes buffered frames out whenever writers have left some behind.
+// By the time it is scheduled, every currently-runnable writer has finished
+// buffering, so one flush typically carries a whole batch of frames.
+func (sw *SyncWriter) flusher() {
+	for {
+		select {
+		case <-sw.done:
+			return
+		case <-sw.kick:
+		}
+		// The kick readied this goroutine with scheduler priority, ahead of
+		// the other writers that are about to buffer their own frames. Yield
+		// once so they run first; the flush below then carries the batch.
+		runtime.Gosched()
+		sw.mu.Lock()
+		if sw.err != nil || !sw.dirty {
+			sw.mu.Unlock()
+			continue
+		}
+		err := sw.bw.Flush()
+		sw.dirty = false
+		if err == nil {
+			sw.mu.Unlock()
+			continue
+		}
+		sw.err = err
+		onErr := sw.onErr
+		sw.mu.Unlock()
+		if onErr != nil {
+			onErr(err)
+		}
+	}
 }
 
 // Read reads one framed GIOP message.

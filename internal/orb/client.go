@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cdr"
 	"repro/internal/giop"
 	"repro/internal/idl"
 )
@@ -15,7 +17,8 @@ import (
 // is the reproduction's equivalent of a CORBA stub: calls are marshalled to
 // GIOP requests unless the target adapter lives in the same process, in
 // which case dispatch is direct (the paper's in-process C++/JNI bridge
-// analogue).
+// analogue). References are safe for concurrent use: concurrent Invokes to
+// the same endpoint are pipelined over a shared multiplexed connection.
 type ObjectRef struct {
 	orb *ORB
 	ior *IOR
@@ -56,139 +59,341 @@ func (r *ObjectRef) Locate() (bool, error) {
 	return r.orb.pool.locate(r.ior)
 }
 
-// clientConn is one pooled outbound IIOP connection.
-type clientConn struct {
-	nc     net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	nextID uint32
+// maxPipelinePerConn is the in-flight depth at which the pool prefers
+// opening another connection (up to Options.MaxIdlePerHost) over deepening
+// the pipeline on an existing one.
+const maxPipelinePerConn = 64
+
+// demuxedReply is what the demux read loop hands to a waiting caller: a
+// parsed Reply (rh + d) or LocateReply (lr), or the connection-level error
+// that killed the call.
+type demuxedReply struct {
+	rh  *giop.ReplyHeader
+	lr  *giop.LocateReplyHeader
+	d   *cdr.Decoder // positioned just past the reply header
+	err error
 }
 
-// connPool manages outbound connections keyed by endpoint. A connection is
-// held exclusively for the duration of one request/reply exchange (GIOP 1.0
-// style); concurrent calls to the same endpoint use additional connections.
+// muxConn is one multiplexed outbound IIOP connection. Many concurrent
+// requests share it: each caller registers a reply channel under its GIOP
+// request ID, writes its frame through the serialized writer, and a single
+// demux goroutine routes every incoming Reply/LocateReply to the waiting
+// caller by ID. A connection-level failure (read/write error, timeout,
+// protocol violation, server close) poisons the connection: every request
+// still in flight fails with a typed COMM_FAILURE and the connection leaves
+// the pool.
+type muxConn struct {
+	pool *connPool
+	addr string
+	nc   net.Conn
+	w    *giop.SyncWriter
+
+	nextID atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan *demuxedReply
+	dead    error // set once, before the pending map is flushed
+}
+
+// errConnPoisoned marks a register attempt on a connection that died before
+// the request was written; roundTrip retries once on a fresh connection.
+type errConnPoisoned struct{ cause error }
+
+func (e *errConnPoisoned) Error() string { return e.cause.Error() }
+
+// register installs a reply channel for a request ID. It fails if the
+// connection is already dead (nothing was sent, so the call is retryable).
+func (c *muxConn) register(id uint32) (chan *demuxedReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, &errConnPoisoned{cause: c.dead}
+	}
+	ch := make(chan *demuxedReply, 1)
+	c.pending[id] = ch
+	return ch, nil
+}
+
+// deliver routes one demuxed reply to its waiting caller; replies without a
+// waiter (e.g. for a request the server invented) are dropped, which is safe
+// because every abandoned wait poisons the whole connection first.
+func (c *muxConn) deliver(id uint32, r *demuxedReply) {
+	c.mu.Lock()
+	ch := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- r
+	}
+}
+
+// fail poisons the connection: it leaves the pool, the socket closes, and
+// every in-flight request receives err. Idempotent.
+func (c *muxConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = err
+	pend := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.pool.remove(c)
+	c.w.Close()
+	c.nc.Close()
+	for _, ch := range pend {
+		ch <- &demuxedReply{err: err}
+	}
+}
+
+// load reports the number of requests in flight, used for least-loaded
+// connection selection.
+func (c *muxConn) load() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// send writes one framed message, accounting wire stats.
+func (c *muxConn) send(msg *giop.Message) error {
+	c.pool.orb.Stats.BytesSent.Add(int64(len(msg.Body) + giop.HeaderSize))
+	if err := c.w.Write(msg); err != nil {
+		return &SystemException{Name: ExcCommFailure, Detail: err.Error()}
+	}
+	return nil
+}
+
+// readLoop is the demux goroutine: it reads framed messages until the
+// connection dies and routes replies to waiting callers by request ID.
+func (c *muxConn) readLoop(br *bufio.Reader) {
+	stats := &c.pool.orb.Stats
+	for {
+		msg, err := giop.Read(br)
+		if err != nil {
+			c.fail(&SystemException{Name: ExcCommFailure, Detail: "read reply: " + err.Error()})
+			return
+		}
+		stats.BytesReceived.Add(int64(len(msg.Body) + giop.HeaderSize))
+		switch msg.Type {
+		case giop.MsgReply:
+			d := msg.BodyDecoder()
+			rh, err := giop.UnmarshalReplyHeader(d)
+			if err != nil {
+				// An unroutable reply leaves callers unmatchable: poison.
+				c.fail(&SystemException{Name: ExcMarshal, Detail: "reply header: " + err.Error()})
+				return
+			}
+			c.deliver(rh.RequestID, &demuxedReply{rh: rh, d: d})
+		case giop.MsgLocateReply:
+			lr, err := giop.UnmarshalLocateReply(msg.BodyDecoder())
+			if err != nil {
+				c.fail(&SystemException{Name: ExcMarshal, Detail: "locate reply: " + err.Error()})
+				return
+			}
+			c.deliver(lr.RequestID, &demuxedReply{lr: lr})
+		case giop.MsgCloseConnection:
+			c.fail(&SystemException{Name: ExcCommFailure, Detail: "server closed connection"})
+			return
+		case giop.MsgMessageError:
+			c.fail(&SystemException{Name: ExcCommFailure, Detail: "peer reported message error"})
+			return
+		default:
+			c.fail(&SystemException{Name: ExcCommFailure, Detail: "unexpected " + msg.Type.String()})
+			return
+		}
+	}
+}
+
+// call sends one request frame and, when expectReply, waits for its demuxed
+// reply, bounding the wait by timeout (0 = unbounded). A timeout or write
+// failure poisons the connection, preserving GIOP 1.0 semantics where a
+// broken exchange leaves the stream unusable.
+func (c *muxConn) call(reqID uint32, msg *giop.Message, expectReply bool, timeout time.Duration) (*demuxedReply, error) {
+	if !expectReply {
+		if err := c.send(msg); err != nil {
+			c.fail(err)
+			return nil, err
+		}
+		return nil, nil
+	}
+	ch, err := c.register(reqID)
+	if err != nil {
+		return nil, err
+	}
+	stats := &c.pool.orb.Stats
+	stats.noteInFlight()
+	defer stats.InFlight.Add(-1)
+	if err := c.send(msg); err != nil {
+		c.fail(err)
+		<-ch // fail delivered the error; drain our channel
+		return nil, err
+	}
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case r := <-ch:
+			return r, r.err
+		case <-t.C:
+			c.fail(&SystemException{Name: ExcCommFailure,
+				Detail: fmt.Sprintf("call timed out after %v", timeout)})
+			r := <-ch
+			return nil, r.err
+		}
+	}
+	r := <-ch
+	return r, r.err
+}
+
+// connPool manages outbound multiplexed connections keyed by endpoint. One
+// connection serves many concurrent request/reply exchanges (replies are
+// matched by GIOP request ID); additional connections — at most
+// Options.MaxIdlePerHost — are only opened when every existing connection
+// already has maxPipelinePerConn requests in flight.
 type connPool struct {
-	orb  *ORB
-	mu   sync.Mutex
-	idle map[string][]*clientConn
+	orb   *ORB
+	mu    sync.Mutex
+	conns map[string][]*muxConn
 }
 
 func newConnPool(o *ORB) *connPool {
-	return &connPool{orb: o, idle: make(map[string][]*clientConn)}
+	return &connPool{orb: o, conns: make(map[string][]*muxConn)}
 }
 
-func (p *connPool) get(addr string) (*clientConn, error) {
+// get returns the least-loaded live connection to addr, dialing a new one
+// when none exists or all are pipeline-saturated below the per-host cap.
+func (p *connPool) get(addr string) (*muxConn, error) {
 	p.mu.Lock()
-	conns := p.idle[addr]
-	if n := len(conns); n > 0 {
-		c := conns[n-1]
-		p.idle[addr] = conns[:n-1]
+	if c := p.pick(addr); c != nil {
 		p.mu.Unlock()
 		return c, nil
 	}
 	p.mu.Unlock()
-	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+
+	nc, err := net.DialTimeout("tcp", addr, p.orb.opts.DialTimeout)
 	if err != nil {
 		return nil, &SystemException{Name: ExcCommFailure, Detail: fmt.Sprintf("dial %s: %v", addr, err)}
 	}
-	return &clientConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+	c := &muxConn{
+		pool:    p,
+		addr:    addr,
+		nc:      nc,
+		pending: make(map[uint32]chan *demuxedReply),
+	}
+	// An asynchronous flush failure loses frames whose callers already
+	// returned from Write, so it must poison the whole connection.
+	c.w = giop.NewSyncWriter(bufio.NewWriter(nc), func(err error) {
+		c.fail(&SystemException{Name: ExcCommFailure, Detail: "write: " + err.Error()})
+	})
+	p.mu.Lock()
+	// Another caller may have dialed concurrently (a cold pool makes every
+	// simultaneous first call dial). Prefer an existing unsaturated
+	// connection and discard ours: concentrating callers on few connections
+	// is what makes the pipelining pay, and it keeps the pool within the
+	// per-host cap.
+	if existing := p.pick(addr); existing != nil {
+		p.mu.Unlock()
+		nc.Close()
+		return existing, nil
+	}
+	p.conns[addr] = append(p.conns[addr], c)
+	p.mu.Unlock()
+	go c.readLoop(bufio.NewReader(nc))
+	return c, nil
 }
 
-func (p *connPool) put(addr string, c *clientConn) {
+// pick returns the least-loaded connection to addr unless a new one should
+// be dialed (all saturated and below cap). Caller holds p.mu.
+func (p *connPool) pick(addr string) *muxConn {
+	conns := p.conns[addr]
+	if len(conns) == 0 {
+		return nil
+	}
+	best := conns[0]
+	bestLoad := best.load()
+	for _, c := range conns[1:] {
+		if l := c.load(); l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	if bestLoad >= maxPipelinePerConn && len(conns) < p.orb.opts.MaxIdlePerHost {
+		return nil // saturated: ask the caller to dial another
+	}
+	return best
+}
+
+// remove drops a poisoned connection from the pool.
+func (p *connPool) remove(c *muxConn) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.idle[addr]) >= 8 {
-		c.nc.Close()
-		return
+	conns := p.conns[c.addr]
+	for i, x := range conns {
+		if x == c {
+			p.conns[c.addr] = append(conns[:i], conns[i+1:]...)
+			return
+		}
 	}
-	p.idle[addr] = append(p.idle[addr], c)
 }
 
+// closeAll poisons every connection (client-side shutdown); in-flight
+// requests fail with COMM_FAILURE.
 func (p *connPool) closeAll() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	for addr, conns := range p.idle {
-		for _, c := range conns {
-			c.nc.Close()
-		}
-		delete(p.idle, addr)
+	var all []*muxConn
+	for addr, conns := range p.conns {
+		all = append(all, conns...)
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+	for _, c := range all {
+		c.fail(&SystemException{Name: ExcCommFailure, Detail: "orb client shutdown"})
 	}
 }
 
-// roundTrip sends one GIOP Request and (when expectReply) reads the Reply.
+// roundTrip sends one GIOP Request and (when expectReply) awaits the Reply.
+// If the chosen connection was poisoned before the request could be written,
+// it retries once on a fresh connection.
 func (p *connPool) roundTrip(ior *IOR, op string, args []idl.Any, expectReply bool) (idl.Any, error) {
 	addr := ior.Addr()
-	c, err := p.get(addr)
-	if err != nil {
-		return idl.Null(), err
-	}
-	result, err := p.exchange(c, ior, op, args, expectReply)
-	if err != nil {
-		// Connection-level failures poison the conn; exceptions do not.
-		if _, isUser := err.(*UserException); isUser {
-			p.put(addr, c)
+	order := p.orb.wireOrder()
+	for attempt := 0; ; attempt++ {
+		c, err := p.get(addr)
+		if err != nil {
 			return idl.Null(), err
 		}
-		if se, isSys := err.(*SystemException); isSys && se.Name != ExcCommFailure && se.Name != ExcMarshal {
-			p.put(addr, c)
+		reqID := c.nextID.Add(1)
+		e := giop.NewBodyEncoder(order)
+		(&giop.RequestHeader{
+			RequestID:        reqID,
+			ResponseExpected: expectReply,
+			ObjectKey:        ior.ObjectKey,
+			Operation:        op,
+			Principal:        []byte(p.orb.opts.Product),
+		}).Marshal(e)
+		idl.MarshalAnys(e, args)
+		msg := &giop.Message{Type: giop.MsgRequest, Order: order, Body: e.Bytes()}
+		r, err := c.call(reqID, msg, expectReply, p.orb.opts.CallTimeout)
+		if err != nil {
+			if _, poisoned := err.(*errConnPoisoned); poisoned && attempt == 0 {
+				continue // nothing was sent; retry on a fresh connection
+			}
 			return idl.Null(), err
 		}
-		c.nc.Close()
-		return idl.Null(), err
+		if !expectReply {
+			return idl.Null(), nil
+		}
+		return decodeReply(r)
 	}
-	p.put(addr, c)
-	return result, nil
 }
 
-func (p *connPool) exchange(c *clientConn, ior *IOR, op string, args []idl.Any, expectReply bool) (idl.Any, error) {
-	if d := p.orb.opts.CallTimeout; d > 0 {
-		if err := c.nc.SetDeadline(time.Now().Add(d)); err == nil {
-			defer c.nc.SetDeadline(time.Time{})
-		}
+// decodeReply turns a demuxed Reply into a result value or a typed error.
+func decodeReply(r *demuxedReply) (idl.Any, error) {
+	if r.rh == nil {
+		return idl.Null(), &SystemException{Name: ExcCommFailure, Detail: "request answered by a non-request reply"}
 	}
-	c.nextID++
-	reqID := c.nextID
-	order := p.orb.wireOrder()
-	e := giop.NewBodyEncoder(order)
-	hdr := giop.RequestHeader{
-		RequestID:        reqID,
-		ResponseExpected: expectReply,
-		ObjectKey:        ior.ObjectKey,
-		Operation:        op,
-		Principal:        []byte(p.orb.opts.Product),
-	}
-	hdr.Marshal(e)
-	idl.MarshalAnys(e, args)
-	msg := &giop.Message{Type: giop.MsgRequest, Order: order, Body: e.Bytes()}
-	p.orb.Stats.BytesSent.Add(int64(len(msg.Body) + giop.HeaderSize))
-	if err := giop.Write(c.bw, msg); err != nil {
-		return idl.Null(), &SystemException{Name: ExcCommFailure, Detail: err.Error()}
-	}
-	if !expectReply {
-		return idl.Null(), nil
-	}
-
-	reply, err := giop.Read(c.br)
-	if err != nil {
-		return idl.Null(), &SystemException{Name: ExcCommFailure, Detail: "read reply: " + err.Error()}
-	}
-	p.orb.Stats.BytesReceived.Add(int64(len(reply.Body) + giop.HeaderSize))
-	if reply.Type == giop.MsgMessageError {
-		return idl.Null(), &SystemException{Name: ExcCommFailure, Detail: "peer reported message error"}
-	}
-	if reply.Type != giop.MsgReply {
-		return idl.Null(), &SystemException{Name: ExcCommFailure, Detail: "unexpected " + reply.Type.String()}
-	}
-	d := reply.BodyDecoder()
-	rh, err := giop.UnmarshalReplyHeader(d)
-	if err != nil {
-		return idl.Null(), &SystemException{Name: ExcMarshal, Detail: err.Error()}
-	}
-	if rh.RequestID != reqID {
-		return idl.Null(), &SystemException{Name: ExcCommFailure,
-			Detail: fmt.Sprintf("reply id %d for request %d", rh.RequestID, reqID)}
-	}
-	switch rh.Status {
+	d := r.d
+	switch r.rh.Status {
 	case giop.ReplyNoException:
 		result, err := idl.UnmarshalAny(d)
 		if err != nil {
@@ -212,50 +417,34 @@ func (p *connPool) exchange(c *clientConn, ior *IOR, op string, args []idl.Any, 
 		return idl.Null(), &SystemException{Name: name, Minor: minor, Detail: detail}
 	default:
 		return idl.Null(), &SystemException{Name: ExcCommFailure,
-			Detail: "unsupported reply status " + rh.Status.String()}
+			Detail: "unsupported reply status " + r.rh.Status.String()}
 	}
 }
 
-// locate performs a GIOP LocateRequest round trip.
+// locate performs a GIOP LocateRequest round trip over the same multiplexed
+// connection invocations use; wire stats are accounted like any other call.
 func (p *connPool) locate(ior *IOR) (bool, error) {
 	addr := ior.Addr()
-	c, err := p.get(addr)
-	if err != nil {
-		return false, err
-	}
-	ok, err := p.locateOn(c, ior)
-	if err != nil {
-		c.nc.Close()
-		return false, err
-	}
-	p.put(addr, c)
-	return ok, nil
-}
-
-func (p *connPool) locateOn(c *clientConn, ior *IOR) (bool, error) {
-	if d := p.orb.opts.CallTimeout; d > 0 {
-		if err := c.nc.SetDeadline(time.Now().Add(d)); err == nil {
-			defer c.nc.SetDeadline(time.Time{})
-		}
-	}
-	c.nextID++
 	order := p.orb.wireOrder()
-	e := giop.NewBodyEncoder(order)
-	(&giop.LocateRequestHeader{RequestID: c.nextID, ObjectKey: ior.ObjectKey}).Marshal(e)
-	msg := &giop.Message{Type: giop.MsgLocateRequest, Order: order, Body: e.Bytes()}
-	if err := giop.Write(c.bw, msg); err != nil {
-		return false, &SystemException{Name: ExcCommFailure, Detail: err.Error()}
+	for attempt := 0; ; attempt++ {
+		c, err := p.get(addr)
+		if err != nil {
+			return false, err
+		}
+		reqID := c.nextID.Add(1)
+		e := giop.NewBodyEncoder(order)
+		(&giop.LocateRequestHeader{RequestID: reqID, ObjectKey: ior.ObjectKey}).Marshal(e)
+		msg := &giop.Message{Type: giop.MsgLocateRequest, Order: order, Body: e.Bytes()}
+		r, err := c.call(reqID, msg, true, p.orb.opts.CallTimeout)
+		if err != nil {
+			if _, poisoned := err.(*errConnPoisoned); poisoned && attempt == 0 {
+				continue
+			}
+			return false, err
+		}
+		if r.lr == nil {
+			return false, &SystemException{Name: ExcCommFailure, Detail: "request answered by a non-locate reply"}
+		}
+		return r.lr.Status == giop.LocateObjectHere, nil
 	}
-	reply, err := giop.Read(c.br)
-	if err != nil {
-		return false, &SystemException{Name: ExcCommFailure, Detail: err.Error()}
-	}
-	if reply.Type != giop.MsgLocateReply {
-		return false, &SystemException{Name: ExcCommFailure, Detail: "unexpected " + reply.Type.String()}
-	}
-	lr, err := giop.UnmarshalLocateReply(reply.BodyDecoder())
-	if err != nil {
-		return false, &SystemException{Name: ExcMarshal, Detail: err.Error()}
-	}
-	return lr.Status == giop.LocateObjectHere, nil
 }

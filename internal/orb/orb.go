@@ -41,6 +41,20 @@ type Stats struct {
 	UserExceptions atomic.Int64
 	SysExceptions  atomic.Int64
 	OnewayRequests atomic.Int64
+	InFlight       atomic.Int64 // client requests currently awaiting a reply
+	MaxInFlight    atomic.Int64 // high-water mark of InFlight
+}
+
+// noteInFlight bumps the InFlight gauge and keeps MaxInFlight at its
+// high-water mark; the caller must decrement InFlight when the call ends.
+func (s *Stats) noteInFlight() {
+	n := s.InFlight.Add(1)
+	for {
+		max := s.MaxInFlight.Load()
+		if n <= max || s.MaxInFlight.CompareAndSwap(max, n) {
+			return
+		}
+	}
 }
 
 // Options configure an ORB instance.
@@ -56,8 +70,17 @@ type Options struct {
 	// different native orders interoperate.
 	LittleEndian bool
 	// CallTimeout bounds each client request/reply exchange (0 = no bound).
-	// Expired calls surface as COMM_FAILURE and poison their connection.
+	// Expired calls surface as COMM_FAILURE and poison their connection,
+	// which fails every other request in flight on it with COMM_FAILURE too.
 	CallTimeout time.Duration
+	// DialTimeout bounds establishing a new outbound IIOP connection.
+	// 0 means the default of 10 seconds.
+	DialTimeout time.Duration
+	// MaxIdlePerHost caps the multiplexed connections kept per endpoint
+	// (0 means the default of 8). Every connection is shared by many
+	// concurrent requests; the pool only opens another when all existing
+	// connections to the endpoint are pipeline-saturated.
+	MaxIdlePerHost int
 }
 
 // wireOrder returns the CDR byte order this ORB's clients emit.
@@ -98,6 +121,12 @@ var processORBs sync.Map // string addr -> *ORB
 func New(opts Options) *ORB {
 	if opts.Product == "" {
 		opts.Product = Orbix
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	if opts.MaxIdlePerHost <= 0 {
+		opts.MaxIdlePerHost = 8
 	}
 	o := &ORB{
 		opts:     opts,

@@ -34,10 +34,12 @@ func (o *ORB) acceptLoop(ln net.Listener) {
 	}
 }
 
-// serveConn handles one inbound IIOP connection: it reads GIOP messages and
-// dispatches requests to servants. Requests on a connection are served
-// sequentially (GIOP 1.0 semantics); concurrency comes from multiple
-// connections.
+// serveConn handles one inbound IIOP connection. The loop reads and
+// demultiplexes GIOP messages; every Request is dispatched in its own
+// goroutine so slow servants do not block the requests pipelined behind them
+// on the same connection. Replies are serialized through a shared
+// giop.SyncWriter and matched to requests by GIOP request ID, not by stream
+// position, so out-of-order completion is fine.
 func (o *ORB) serveConn(nc net.Conn) {
 	defer o.wg.Done()
 	defer o.Stats.ActiveConns.Add(-1)
@@ -55,7 +57,11 @@ func (o *ORB) serveConn(nc net.Conn) {
 	}()
 
 	br := bufio.NewReader(nc)
-	bw := bufio.NewWriter(nc)
+	// A failed asynchronous reply flush breaks the stream for every pipelined
+	// request, so tear the socket down; in-flight dispatches then fail their
+	// own writes and the client sees COMM_FAILURE.
+	w := giop.NewSyncWriter(bufio.NewWriter(nc), func(error) { nc.Close() })
+	defer w.Close()
 	for {
 		msg, err := giop.Read(br)
 		if err != nil {
@@ -67,22 +73,30 @@ func (o *ORB) serveConn(nc net.Conn) {
 		o.Stats.BytesReceived.Add(int64(len(msg.Body) + giop.HeaderSize))
 		switch msg.Type {
 		case giop.MsgRequest:
-			if !o.handleRequest(bw, msg) {
-				return
-			}
+			o.wg.Add(1)
+			go func(m *giop.Message) {
+				defer o.wg.Done()
+				if !o.handleRequest(w, m) {
+					// The reply could not be written: the stream is broken
+					// for every other request too, so tear the socket down
+					// to unblock the read loop.
+					nc.Close()
+				}
+			}(msg)
 		case giop.MsgLocateRequest:
-			if !o.handleLocate(bw, msg) {
+			if !o.handleLocate(w, msg) {
 				return
 			}
 		case giop.MsgCancelRequest:
-			// Requests are served synchronously, so by the time a cancel
-			// arrives the request is finished; GIOP permits ignoring it.
+			// The cancelled request may still be executing in its dispatch
+			// goroutine; GIOP permits ignoring the cancel, and the client
+			// simply discards the eventual reply.
 		case giop.MsgCloseConnection:
 			return
 		default:
 			o.Stats.ProtocolErrors.Add(1)
 			errMsg := &giop.Message{Type: giop.MsgMessageError, Order: cdr.BigEndian}
-			if writeErr := giop.Write(bw, errMsg); writeErr != nil {
+			if writeErr := w.Write(errMsg); writeErr != nil {
 				return
 			}
 		}
@@ -90,13 +104,14 @@ func (o *ORB) serveConn(nc net.Conn) {
 }
 
 // handleRequest dispatches one GIOP Request and writes the Reply. It reports
-// whether the connection should stay open.
-func (o *ORB) handleRequest(w *bufio.Writer, msg *giop.Message) bool {
+// whether the connection is still usable. It runs in its own goroutine, one
+// per in-flight request.
+func (o *ORB) handleRequest(w *giop.SyncWriter, msg *giop.Message) bool {
 	d := msg.BodyDecoder()
 	hdr, err := giop.UnmarshalRequestHeader(d)
 	if err != nil {
 		o.Stats.ProtocolErrors.Add(1)
-		return giop.Write(w, &giop.Message{Type: giop.MsgMessageError, Order: msg.Order}) == nil
+		return w.Write(&giop.Message{Type: giop.MsgMessageError, Order: msg.Order}) == nil
 	}
 	args, err := idl.UnmarshalAnys(d)
 	if err != nil {
@@ -124,7 +139,7 @@ func (o *ORB) dispatch(key, op string, args []idl.Any) (idl.Any, error) {
 }
 
 // writeReply encodes the reply for a completed invocation.
-func (o *ORB) writeReply(w *bufio.Writer, order cdr.ByteOrder, req *giop.RequestHeader, result idl.Any, invErr error) error {
+func (o *ORB) writeReply(w *giop.SyncWriter, order cdr.ByteOrder, req *giop.RequestHeader, result idl.Any, invErr error) error {
 	e := giop.NewBodyEncoder(order)
 	rh := giop.ReplyHeader{RequestID: req.RequestID}
 	switch err := invErr.(type) {
@@ -156,17 +171,18 @@ func (o *ORB) writeReply(w *bufio.Writer, order cdr.ByteOrder, req *giop.Request
 	}
 	out := &giop.Message{Type: giop.MsgReply, Order: order, Body: e.Bytes()}
 	o.Stats.BytesSent.Add(int64(len(out.Body) + giop.HeaderSize))
-	return giop.Write(w, out)
+	return w.Write(out)
 }
 
-// handleLocate answers a GIOP LocateRequest.
-func (o *ORB) handleLocate(w *bufio.Writer, msg *giop.Message) bool {
+// handleLocate answers a GIOP LocateRequest. Locates never run servant code,
+// so they are answered synchronously from the read loop.
+func (o *ORB) handleLocate(w *giop.SyncWriter, msg *giop.Message) bool {
 	o.Stats.LocateRequests.Add(1)
 	d := msg.BodyDecoder()
 	hdr, err := giop.UnmarshalLocateRequest(d)
 	if err != nil {
 		o.Stats.ProtocolErrors.Add(1)
-		return giop.Write(w, &giop.Message{Type: giop.MsgMessageError, Order: msg.Order}) == nil
+		return w.Write(&giop.Message{Type: giop.MsgMessageError, Order: msg.Order}) == nil
 	}
 	status := giop.LocateUnknownObject
 	if _, ok := o.lookupServant(string(hdr.ObjectKey)); ok {
@@ -176,5 +192,5 @@ func (o *ORB) handleLocate(w *bufio.Writer, msg *giop.Message) bool {
 	(&giop.LocateReplyHeader{RequestID: hdr.RequestID, Status: status}).Marshal(e)
 	out := &giop.Message{Type: giop.MsgLocateReply, Order: msg.Order, Body: e.Bytes()}
 	o.Stats.BytesSent.Add(int64(len(out.Body) + giop.HeaderSize))
-	return giop.Write(w, out) == nil
+	return w.Write(out) == nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/codb"
 	"repro/internal/gateway"
@@ -52,6 +53,11 @@ type Config struct {
 	LocalCoDB *codb.CoDatabase
 	// Gateway opens DSN connections for sources without an ISI reference.
 	Gateway *gateway.Manager
+	// FanOut bounds the worker pool used to contact coalition members in
+	// parallel (peer discovery, coalition query decomposition, membership
+	// maintenance). 0 selects the default width (2×GOMAXPROCS, min 8);
+	// 1 forces the serial pre-parallel behaviour.
+	FanOut int
 }
 
 // Processor is the query layer of one WebFINDIT node.
@@ -67,9 +73,15 @@ func New(cfg Config) (*Processor, error) {
 	return &Processor{cfg: cfg}, nil
 }
 
+// SetFanOut adjusts the member fan-out width (see Config.FanOut). It must
+// not be called concurrently with running sessions; benchmarks use it to
+// compare serial and parallel decomposition.
+func (p *Processor) SetFanOut(n int) { p.cfg.FanOut = n }
+
 // Session is one user's interactive context: the coalition they are
 // connected to and the source they last selected. Sessions are not safe for
-// concurrent use.
+// concurrent use by multiple callers, but statements internally fan out to
+// coalition members in parallel, so the trace buffer is mutex-protected.
 type Session struct {
 	p *Processor
 
@@ -79,6 +91,7 @@ type Session struct {
 	Source string
 
 	codbClient *codb.Client // co-database answering for the current coalition
+	traceMu    sync.Mutex
 	trace      []string
 }
 
@@ -90,12 +103,16 @@ func (p *Processor) NewSession() *Session {
 // Trace returns the accumulated layer trace (query, communication,
 // meta-data, data) and clears it.
 func (s *Session) Trace() []string {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
 	t := s.trace
 	s.trace = nil
 	return t
 }
 
 func (s *Session) tracef(layer, format string, args ...any) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
 	s.trace = append(s.trace, layer+" layer: "+fmt.Sprintf(format, args...))
 }
 
@@ -225,56 +242,77 @@ func (p *Processor) resolveTopic(s *Session, topic string) ([]Lead, error) {
 	}
 
 	// Stage 3: ask the other members of the local coalitions whether they
-	// know a coalition or a service link for this topic.
+	// know a coalition or a service link for this topic. The member list is
+	// assembled serially from local metadata (deterministic order,
+	// deduplicated by co-database reference); the peers themselves are then
+	// probed in parallel, so stage latency tracks the slowest peer instead
+	// of the sum of all peers. Results are merged back in member order,
+	// keeping lead ordering identical to the serial algorithm.
 	memberOf, err := local.MemberOf()
 	if err != nil {
 		return nil, err
 	}
-	out := leads
-	seen := map[string]bool{}
-	for _, l := range out {
-		seen["c:"+strings.ToLower(l.Coalition)] = true
+	type peerProbe struct {
+		name  string
+		ref   string
+		peer  *codb.Client
+		coals []codb.Match
+		links []codb.Match
 	}
+	var probes []*peerProbe
+	probed := map[string]bool{}
 	for _, coalition := range memberOf {
 		members, err := local.Instances(coalition)
 		if err != nil {
 			continue
 		}
 		for _, m := range members {
-			if strings.EqualFold(m.Name, p.cfg.Home) || m.CoDBRef == "" {
+			if strings.EqualFold(m.Name, p.cfg.Home) || m.CoDBRef == "" || probed[m.CoDBRef] {
 				continue
 			}
 			peer, err := p.codbByRef(m.CoDBRef)
 			if err != nil {
 				continue
 			}
+			probed[m.CoDBRef] = true
 			s.tracef("communication", "invoke find_coalitions(%q) on peer co-database of %s", topic, m.Name)
-			pm, err := peer.FindCoalitions(topic)
-			if err == nil {
-				for _, match := range pm {
-					key := "c:" + strings.ToLower(match.Coalition)
-					if !seen[key] {
-						seen[key] = true
-						out = append(out, Lead{Coalition: match.Coalition, Score: match.Score,
-							Via: "peer:" + m.Name, CoDBRef: m.CoDBRef})
-					}
-				}
-			}
 			s.tracef("communication", "invoke find_links(%q) on peer co-database of %s", topic, m.Name)
-			pl, err := peer.FindLinks(topic)
-			if err == nil {
-				for _, match := range pl {
-					key := "l:" + strings.ToLower(match.Coalition)
-					if !seen[key] {
-						seen[key] = true
-						ref := match.CoDBRef
-						if ref == "" {
-							ref = m.CoDBRef
-						}
-						out = append(out, Lead{Coalition: match.Coalition, Score: match.Score,
-							Via: "peer:" + m.Name + "/" + match.Via, CoDBRef: ref})
-					}
+			probes = append(probes, &peerProbe{name: m.Name, ref: m.CoDBRef, peer: peer})
+		}
+	}
+	fanOut(len(probes), p.cfg.FanOut, func(i int) {
+		pr := probes[i]
+		if pm, err := pr.peer.FindCoalitions(topic); err == nil {
+			pr.coals = pm
+		}
+		if pl, err := pr.peer.FindLinks(topic); err == nil {
+			pr.links = pl
+		}
+	})
+	out := leads
+	seen := map[string]bool{}
+	for _, l := range out {
+		seen["c:"+strings.ToLower(l.Coalition)] = true
+	}
+	for _, pr := range probes {
+		for _, match := range pr.coals {
+			key := "c:" + strings.ToLower(match.Coalition)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, Lead{Coalition: match.Coalition, Score: match.Score,
+					Via: "peer:" + pr.name, CoDBRef: pr.ref})
+			}
+		}
+		for _, match := range pr.links {
+			key := "l:" + strings.ToLower(match.Coalition)
+			if !seen[key] {
+				seen[key] = true
+				ref := match.CoDBRef
+				if ref == "" {
+					ref = pr.ref
 				}
+				out = append(out, Lead{Coalition: match.Coalition, Score: match.Score,
+					Via: "peer:" + pr.name + "/" + match.Via, CoDBRef: ref})
 			}
 		}
 	}
@@ -666,7 +704,11 @@ func (s *Session) execFuncQuery(q *wtl.FuncQuery) (*Response, error) {
 // execCoalitionFuncQuery decomposes a typed query over every member of a
 // coalition that exports the function, merging the result sets with a
 // leading "source" column — the paper's query decomposition across a
-// cluster of databases sharing a topic.
+// cluster of databases sharing a topic. Translation runs serially (so
+// translation errors surface in member order), then the per-member
+// sub-queries execute in parallel through a bounded worker pool; rows are
+// merged back in member order, so the merged result is deterministic and
+// end-to-end latency tracks the slowest member rather than the member count.
 func (s *Session) execCoalitionFuncQuery(q *wtl.FuncQuery) (*Response, error) {
 	entry, err := s.p.coalitionEntry(s, q.Source)
 	if err != nil {
@@ -676,9 +718,11 @@ func (s *Session) execCoalitionFuncQuery(q *wtl.FuncQuery) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	merged := &gateway.Result{}
-	var translations []string
-	queried := 0
+	type subQuery struct {
+		d      *codb.SourceDescriptor
+		native string
+	}
+	var parts []subQuery
 	for _, d := range members {
 		var fn *codb.ExportedFunction
 		for i := range d.Interface {
@@ -695,27 +739,45 @@ func (s *Session) execCoalitionFuncQuery(q *wtl.FuncQuery) (*Response, error) {
 		if err != nil {
 			return nil, fmt.Errorf("query: %s: %w", d.Name, err)
 		}
-		conn, err := s.p.openSource(s, d)
+		s.tracef("data", "decomposed query on %s (%s): %s", d.Name, d.Engine, native)
+		parts = append(parts, subQuery{d: d, native: native})
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("query: no member of coalition %s exports function %s", q.Source, q.Function)
+	}
+	results := make([]*gateway.Result, len(parts))
+	errs := make([]error, len(parts))
+	fanOut(len(parts), s.p.cfg.FanOut, func(i int) {
+		pt := parts[i]
+		conn, err := s.p.openSource(s, pt.d)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res, err := conn.Query(pt.native)
+		conn.Close()
+		if err != nil {
+			errs[i] = fmt.Errorf("query: %s: %w", pt.d.Name, err)
+			return
+		}
+		results[i] = res
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		s.tracef("data", "decomposed query on %s (%s): %s", d.Name, d.Engine, native)
-		res, err := conn.Query(native)
-		conn.Close()
-		if err != nil {
-			return nil, fmt.Errorf("query: %s: %w", d.Name, err)
-		}
-		queried++
-		translations = append(translations, d.Name+": "+native)
+	}
+	merged := &gateway.Result{}
+	var translations []string
+	for i, pt := range parts {
+		res := results[i]
+		translations = append(translations, pt.d.Name+": "+pt.native)
 		if len(merged.Columns) == 0 {
 			merged.Columns = append([]string{"source"}, res.Columns...)
 		}
 		for _, row := range res.Rows {
-			merged.Rows = append(merged.Rows, append([]idl.Any{idl.String(d.Name)}, row...))
+			merged.Rows = append(merged.Rows, append([]idl.Any{idl.String(pt.d.Name)}, row...))
 		}
-	}
-	if queried == 0 {
-		return nil, fmt.Errorf("query: no member of coalition %s exports function %s", q.Source, q.Function)
 	}
 	return &Response{
 		Stmt:       q,
@@ -784,24 +846,33 @@ func (s *Session) execCreateLink(q *wtl.CreateLink) (*Response, error) {
 }
 
 // memberCoDBs opens the co-database clients of a coalition's members as
-// known to the entry client, deduplicated by reference.
+// known to the entry client, deduplicated by reference. The clients are
+// resolved through a bounded worker pool and returned in member order.
 func (p *Processor) memberCoDBs(entry *codb.Client, coalition string) ([]*codb.Client, error) {
 	members, err := entry.Instances(coalition)
 	if err != nil {
 		return nil, err
 	}
 	seen := map[string]bool{}
-	var out []*codb.Client
+	var refs []string
 	for _, m := range members {
 		if m.CoDBRef == "" || seen[m.CoDBRef] {
 			continue
 		}
 		seen[m.CoDBRef] = true
-		c, err := p.codbByRef(m.CoDBRef)
-		if err != nil {
-			continue
+		refs = append(refs, m.CoDBRef)
+	}
+	clients := make([]*codb.Client, len(refs))
+	fanOut(len(refs), p.cfg.FanOut, func(i int) {
+		if c, err := p.codbByRef(refs[i]); err == nil {
+			clients[i] = c
 		}
-		out = append(out, c)
+	})
+	out := make([]*codb.Client, 0, len(clients))
+	for _, c := range clients {
+		if c != nil {
+			out = append(out, c)
+		}
 	}
 	return out, nil
 }
@@ -833,9 +904,15 @@ func (s *Session) execJoin(q *wtl.JoinCoalition) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, peer := range peers {
+	// Advertise into every member co-database in parallel; the first error
+	// in member order aborts the join, as the serial loop did.
+	advErrs := make([]error, len(peers))
+	fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
 		s.tracef("communication", "advertising %s into a member co-database", s.p.cfg.Home)
-		if err := peer.Advertise(q.Coalition, home); err != nil {
+		advErrs[i] = peers[i].Advertise(q.Coalition, home)
+	})
+	for _, err := range advErrs {
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -871,11 +948,15 @@ func (s *Session) execLeave(q *wtl.LeaveCoalition) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	removed := false
-	for _, peer := range peers {
-		if err := peer.RemoveMember(q.Coalition, s.p.cfg.Home); err == nil {
-			removed = true
+	removedAt := make([]bool, len(peers))
+	fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
+		if err := peers[i].RemoveMember(q.Coalition, s.p.cfg.Home); err == nil {
+			removedAt[i] = true
 		}
+	})
+	removed := false
+	for _, ok := range removedAt {
+		removed = removed || ok
 	}
 	if !removed {
 		return nil, fmt.Errorf("query: %s is not a member of %s", s.p.cfg.Home, q.Coalition)
