@@ -238,12 +238,25 @@ func (c *muxConn) call(reqID uint32, msg *giop.Message, expectReply bool, timeou
 		case <-t.C:
 			c.fail(&SystemException{Name: ExcCommFailure,
 				Detail: fmt.Sprintf("call timed out after %v", timeout)})
-			r := <-ch
-			return nil, r.err
+			return drainTimedOut(ch)
 		}
 	}
 	r := <-ch
 	return r, r.err
+}
+
+// drainTimedOut resolves a timed-out call from its reply channel. Usually
+// fail has flushed the channel with the timeout error, but the real reply
+// may have raced the timer into deliver first — deliver removes the pending
+// entry before fail can flush it, so the drained reply has err == nil. That
+// reply is returned as a (late) success; returning (nil, nil) would panic
+// the decode path.
+func drainTimedOut(ch chan *demuxedReply) (*demuxedReply, error) {
+	r := <-ch
+	if r.err == nil {
+		return r, nil
+	}
+	return nil, r.err
 }
 
 // connPool manages outbound multiplexed connections keyed by endpoint. One
@@ -294,6 +307,7 @@ func (p *connPool) get(addr string) (*muxConn, error) {
 	// per-host cap.
 	if existing := p.pick(addr); existing != nil {
 		p.mu.Unlock()
+		c.w.Close() // stop the flusher goroutine, not just the socket
 		nc.Close()
 		return existing, nil
 	}
@@ -375,8 +389,11 @@ func (p *connPool) roundTrip(ior *IOR, op string, args []idl.Any, expectReply bo
 		msg := &giop.Message{Type: giop.MsgRequest, Order: order, Body: e.Bytes()}
 		r, err := c.call(reqID, msg, expectReply, p.orb.opts.CallTimeout)
 		if err != nil {
-			if _, poisoned := err.(*errConnPoisoned); poisoned && attempt == 0 {
-				continue // nothing was sent; retry on a fresh connection
+			if pe, poisoned := err.(*errConnPoisoned); poisoned {
+				if attempt == 0 {
+					continue // nothing was sent; retry on a fresh connection
+				}
+				err = pe.cause // keep the typed *SystemException contract
 			}
 			return idl.Null(), err
 		}
@@ -437,8 +454,11 @@ func (p *connPool) locate(ior *IOR) (bool, error) {
 		msg := &giop.Message{Type: giop.MsgLocateRequest, Order: order, Body: e.Bytes()}
 		r, err := c.call(reqID, msg, true, p.orb.opts.CallTimeout)
 		if err != nil {
-			if _, poisoned := err.(*errConnPoisoned); poisoned && attempt == 0 {
-				continue
+			if pe, poisoned := err.(*errConnPoisoned); poisoned {
+				if attempt == 0 {
+					continue
+				}
+				err = pe.cause // keep the typed *SystemException contract
 			}
 			return false, err
 		}

@@ -1,11 +1,15 @@
 package orb
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/giop"
 	"repro/internal/idl"
 )
 
@@ -155,6 +159,130 @@ func TestMidStreamKillFailsInFlight(t *testing.T) {
 	got, err := ref.Invoke("wait", idl.String("after kill"))
 	if err != nil || got.Str != "after kill" {
 		t.Errorf("post-kill call = %v, %v", got, err)
+	}
+}
+
+// TestTimeoutReplyRace hammers the window where a reply arrives concurrently
+// with CallTimeout expiry: servant latencies straddle the timeout, so some
+// replies race the timer into deliver while fail is flushing the pending
+// map. Every call must end as either a genuine result or a typed
+// *SystemException — the race formerly produced a (nil, nil) demuxed reply
+// that panicked decodeReply.
+func TestTimeoutReplyRace(t *testing.T) {
+	server := New(Options{Product: Orbix, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	const timeout = 10 * time.Millisecond
+	iface := idl.MustParse("interface Edge { string echo(in string s); };")[0]
+	h := NewHandler(iface).On("echo", func(args []idl.Any) (idl.Any, error) {
+		// Latency straddles the client timeout so replies race the timer.
+		var n int
+		fmt.Sscanf(args[0].Str, "p-%d", &n)
+		time.Sleep(timeout - 3*time.Millisecond + time.Duration(n%7)*time.Millisecond)
+		return args[0], nil
+	})
+	ior, err := server.Activate("Edge", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := New(Options{Product: VisiBroker, DisableColocation: true,
+		CallTimeout: timeout, MaxIdlePerHost: 1})
+	defer client.Shutdown()
+	ref := client.Resolve(ior)
+
+	const calls = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := fmt.Sprintf("p-%d", i)
+			got, err := ref.Invoke("echo", idl.String(want))
+			if err == nil {
+				if got.Str != want {
+					errs <- fmt.Errorf("call %d: reply mismatch %q", i, got.Str)
+				}
+				return
+			}
+			if _, ok := err.(*SystemException); !ok {
+				errs <- fmt.Errorf("call %d: untyped error %T: %v", i, err, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if in := client.Stats.InFlight.Load(); in != 0 {
+		t.Errorf("InFlight = %d after all calls settled", in)
+	}
+}
+
+// newRaceHarnessConn builds a muxConn with a live socket pair but no read
+// loop, so a test can play deliver and fail against a registered call in a
+// chosen order.
+func newRaceHarnessConn(t *testing.T, client *ORB) *muxConn {
+	t.Helper()
+	srv, cli := net.Pipe()
+	go io.Copy(io.Discard, srv)
+	t.Cleanup(func() { srv.Close() })
+	c := &muxConn{
+		pool:    client.pool,
+		addr:    "race-harness",
+		nc:      cli,
+		pending: make(map[uint32]chan *demuxedReply),
+	}
+	c.w = giop.NewSyncWriter(bufio.NewWriter(cli), func(err error) {
+		c.fail(&SystemException{Name: ExcCommFailure, Detail: err.Error()})
+	})
+	return c
+}
+
+// TestCallTimeoutDeliverRace stages, deterministically, both orderings of
+// the race between a reply's deliver and the timeout branch's fail. When
+// deliver wins — it removes the pending entry before fail can flush it, so
+// the caller drains a reply with err == nil — the call must surface the
+// reply as a late success, never (nil, nil), which panicked the decode path.
+func TestCallTimeoutDeliverRace(t *testing.T) {
+	client := New(Options{Product: VisiBroker, DisableColocation: true})
+	defer client.Shutdown()
+	timeoutExc := &SystemException{Name: ExcCommFailure, Detail: "call timed out"}
+
+	// Ordering 1: deliver wins the race, then the timeout branch runs.
+	c := newRaceHarnessConn(t, client)
+	ch, err := c.register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.deliver(1, &demuxedReply{rh: &giop.ReplyHeader{RequestID: 1}})
+	c.fail(timeoutExc) // pending[1] is already gone; nothing to flush
+	r, err := drainTimedOut(ch)
+	if err != nil {
+		t.Fatalf("deliver-wins drain returned error %v, want late success", err)
+	}
+	if r == nil || r.rh == nil || r.rh.RequestID != 1 {
+		t.Fatalf("deliver-wins drain returned %+v, want the raced reply", r)
+	}
+
+	// Ordering 2: fail wins; the drained reply carries the timeout error.
+	c = newRaceHarnessConn(t, client)
+	if ch, err = c.register(2); err != nil {
+		t.Fatal(err)
+	}
+	c.fail(timeoutExc)
+	c.deliver(2, &demuxedReply{rh: &giop.ReplyHeader{RequestID: 2}}) // late, dropped
+	r, err = drainTimedOut(ch)
+	if r != nil {
+		t.Fatalf("fail-wins drain returned reply %+v, want nil", r)
+	}
+	se, ok := err.(*SystemException)
+	if !ok || se.Name != ExcCommFailure {
+		t.Fatalf("fail-wins drain returned %v, want COMM_FAILURE", err)
 	}
 }
 

@@ -39,7 +39,11 @@ func (o *ORB) acceptLoop(ln net.Listener) {
 // goroutine so slow servants do not block the requests pipelined behind them
 // on the same connection. Replies are serialized through a shared
 // giop.SyncWriter and matched to requests by GIOP request ID, not by stream
-// position, so out-of-order completion is fine.
+// position, so out-of-order completion is fine. In-flight dispatches per
+// connection are capped at maxPipelinePerConn — the same depth at which a
+// well-behaved client opens another connection — so a client flooding one
+// connection stalls its own read loop instead of spawning unbounded servant
+// goroutines.
 func (o *ORB) serveConn(nc net.Conn) {
 	defer o.wg.Done()
 	defer o.Stats.ActiveConns.Add(-1)
@@ -62,6 +66,11 @@ func (o *ORB) serveConn(nc net.Conn) {
 	// own writes and the client sees COMM_FAILURE.
 	w := giop.NewSyncWriter(bufio.NewWriter(nc), func(error) { nc.Close() })
 	defer w.Close()
+	// Bounds concurrent dispatches for this connection; acquiring in the read
+	// loop applies backpressure to a flooding client. Dispatch goroutines
+	// never need the read loop to make progress (replies flush through w
+	// independently), so blocking here cannot deadlock.
+	sem := make(chan struct{}, maxPipelinePerConn)
 	for {
 		msg, err := giop.Read(br)
 		if err != nil {
@@ -73,9 +82,11 @@ func (o *ORB) serveConn(nc net.Conn) {
 		o.Stats.BytesReceived.Add(int64(len(msg.Body) + giop.HeaderSize))
 		switch msg.Type {
 		case giop.MsgRequest:
+			sem <- struct{}{}
 			o.wg.Add(1)
 			go func(m *giop.Message) {
 				defer o.wg.Done()
+				defer func() { <-sem }()
 				if !o.handleRequest(w, m) {
 					// The reply could not be written: the stream is broken
 					// for every other request too, so tear the socket down

@@ -904,17 +904,31 @@ func (s *Session) execJoin(q *wtl.JoinCoalition) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Advertise into every member co-database in parallel; the first error
-	// in member order aborts the join, as the serial loop did.
+	// Advertise into every member co-database in parallel. Unlike the serial
+	// loop — which stopped at the first failure, leaving only the peers
+	// before it advertised — the fan-out reaches every peer before errors
+	// are checked, so on failure the successful advertisements are rolled
+	// back (best effort) and a failed join leaves no peer knowing the
+	// newcomer.
 	advErrs := make([]error, len(peers))
 	fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
 		s.tracef("communication", "advertising %s into a member co-database", s.p.cfg.Home)
 		advErrs[i] = peers[i].Advertise(q.Coalition, home)
 	})
+	var joinErr error
 	for _, err := range advErrs {
 		if err != nil {
-			return nil, err
+			joinErr = err // report the first error in member order
+			break
 		}
+	}
+	if joinErr != nil {
+		fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
+			if advErrs[i] == nil {
+				peers[i].RemoveMember(q.Coalition, s.p.cfg.Home)
+			}
+		})
+		return nil, joinErr
 	}
 	// Local replication.
 	if cd := s.p.cfg.LocalCoDB; cd != nil {
