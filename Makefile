@@ -4,13 +4,32 @@
 
 GO ?= go
 
-.PHONY: verify race bench test build vet
+.PHONY: verify race bench test build vet ci fmt-check cover bench-smoke
 
 # verify is the tier-1 gate: build + vet + full test suite.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# ci mirrors .github/workflows/ci.yml: formatting gate, tier-1 verify,
+# race detector, coverage profile, and a one-iteration benchmark smoke.
+ci: fmt-check verify race cover bench-smoke
+
+# fmt-check fails if any file needs gofmt (CI's formatting gate).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+# cover writes an aggregate coverage profile (uploaded as a CI artifact);
+# the recorded baseline total lives in EXPERIMENTS.md.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+
+# bench-smoke runs every benchmark exactly once: cheap insurance that
+# benchmark setup code still works, without a full measurement run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # race runs the full suite under the race detector (the multiplexed IIOP
 # layer and the parallel coalition fan-out are exercised concurrently).

@@ -21,6 +21,7 @@
 //	  "documentation": "http://example.org/rbh",
 //	  "schema": "CREATE TABLE t (a INT);", // inline SQL, or:
 //	  "schema_file": "schema.sql",
+//	  "slow_call_ms": 50,                  // slow-call log threshold (0 = off)
 //	  "interface": [ { "name": "T", "functions": [ ... ] } ]
 //	}
 package main
@@ -34,28 +35,34 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/browser"
 	"repro/internal/codb"
 	"repro/internal/core"
 	"repro/internal/naming"
 	"repro/internal/orb"
+	"repro/internal/trace"
 )
 
 type nodeFile struct {
-	Name            string              `json:"name"`
-	Engine          string              `json:"engine"`
-	ORB             string              `json:"orb"`
-	Listen          string              `json:"listen"`
-	HTTP            string              `json:"http"`
-	Naming          string              `json:"naming"`
-	InformationType string              `json:"information_type"`
-	Documentation   string              `json:"documentation"`
-	DocumentHTML    string              `json:"document_html"`
-	Location        string              `json:"location"`
-	Schema          string              `json:"schema"`
-	SchemaFile      string              `json:"schema_file"`
-	Interface       []codb.ExportedType `json:"interface"`
+	Name            string `json:"name"`
+	Engine          string `json:"engine"`
+	ORB             string `json:"orb"`
+	Listen          string `json:"listen"`
+	HTTP            string `json:"http"`
+	Naming          string `json:"naming"`
+	InformationType string `json:"information_type"`
+	Documentation   string `json:"documentation"`
+	DocumentHTML    string `json:"document_html"`
+	Location        string `json:"location"`
+	Schema          string `json:"schema"`
+	SchemaFile      string `json:"schema_file"`
+	// SlowCallMS sets the tracer's slow-call threshold in milliseconds:
+	// spans at least this slow are kept in the slow-call ring
+	// (/debug/trace/slow) and logged. 0 disables the slow-call log.
+	SlowCallMS int                 `json:"slow_call_ms"`
+	Interface  []codb.ExportedType `json:"interface"`
 	// InterfaceWTL declares the exported interface in the paper's WebTassili
 	// syntax (Type X { attribute ...; function ...; }) instead of JSON.
 	InterfaceWTL string `json:"interface_wtl"`
@@ -85,7 +92,15 @@ func main() {
 		cfg.ORB = string(orb.Orbix)
 	}
 
+	tracer := trace.New(trace.Options{
+		SlowThreshold: time.Duration(cfg.SlowCallMS) * time.Millisecond,
+		SlowLog:       log.Printf,
+	})
+	tracer.Publish("node", func() any { return cfg.Name })
+
 	o := orb.New(orb.Options{Product: orb.Product(cfg.ORB)})
+	o.EnableTracing(tracer)
+	tracer.Publish("orb", func() any { return o.Stats.Snapshot() })
 	if err := o.Listen(cfg.Listen); err != nil {
 		log.Fatal(err)
 	}
@@ -148,9 +163,14 @@ func main() {
 	}
 
 	if cfg.HTTP != "" {
-		srv := &http.Server{Addr: cfg.HTTP, Handler: browser.NewServer(node).Handler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", browser.NewServer(node).Handler())
+		// Observability endpoints: per-operation latency histograms and
+		// counters, recent/slow spans, published vars (ORB stats included).
+		mux.Handle("/debug/", tracer.Handler())
+		srv := &http.Server{Addr: cfg.HTTP, Handler: mux}
 		go func() {
-			log.Printf("browser UI at http://%s/", cfg.HTTP)
+			log.Printf("browser UI at http://%s/ (metrics at /debug/metrics, traces at /debug/trace)", cfg.HTTP)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Fatal(err)
 			}

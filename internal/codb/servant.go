@@ -1,10 +1,12 @@
 package codb
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/idl"
 	"repro/internal/orb"
+	"repro/internal/trace"
 )
 
 // IDL is the CORBA interface of a co-database server: the meta-data layer
@@ -57,10 +59,22 @@ func NewServant(cd *CoDatabase) orb.Servant {
 		return &orb.UserException{Name: "CoDatabaseError", Message: err.Error()}
 	}
 	h := orb.NewHandler(IDL)
-	h.On("owner", func(args []idl.Any) (idl.Any, error) {
+	// on wraps each operation in a "codb.<op>" span tagged with the owning
+	// database, so metadata lookups appear in the trace of the query that
+	// issued them and aggregate per-operation in the tracer's metrics.
+	on := func(op string, fn orb.OpFunc) {
+		h.OnCtx(op, func(ctx context.Context, args []idl.Any) (idl.Any, error) {
+			_, sp := trace.StartSpan(ctx, "codb."+op)
+			sp.SetAttr("owner", cd.Owner())
+			res, err := fn(args)
+			sp.End(err)
+			return res, err
+		})
+	}
+	on("owner", func(args []idl.Any) (idl.Any, error) {
 		return idl.String(cd.Owner()), nil
 	})
-	h.On("find_coalitions", func(args []idl.Any) (idl.Any, error) {
+	on("find_coalitions", func(args []idl.Any) (idl.Any, error) {
 		matches := cd.FindCoalitions(args[0].Str)
 		out := make([]idl.Any, len(matches))
 		for i, m := range matches {
@@ -68,7 +82,7 @@ func NewServant(cd *CoDatabase) orb.Servant {
 		}
 		return idl.Seq(out...), nil
 	})
-	h.On("find_links", func(args []idl.Any) (idl.Any, error) {
+	on("find_links", func(args []idl.Any) (idl.Any, error) {
 		matches := cd.FindLinks(args[0].Str)
 		out := make([]idl.Any, len(matches))
 		for i, m := range matches {
@@ -76,20 +90,20 @@ func NewServant(cd *CoDatabase) orb.Servant {
 		}
 		return idl.Seq(out...), nil
 	})
-	h.On("coalitions", func(args []idl.Any) (idl.Any, error) {
+	on("coalitions", func(args []idl.Any) (idl.Any, error) {
 		return idl.Strings(cd.Coalitions()), nil
 	})
-	h.On("member_of", func(args []idl.Any) (idl.Any, error) {
+	on("member_of", func(args []idl.Any) (idl.Any, error) {
 		return idl.Strings(cd.MemberOf()), nil
 	})
-	h.On("subclasses", func(args []idl.Any) (idl.Any, error) {
+	on("subclasses", func(args []idl.Any) (idl.Any, error) {
 		subs, err := cd.SubCoalitions(args[0].Str, args[1].Bool)
 		if err != nil {
 			return idl.Null(), userErr(err)
 		}
 		return idl.Strings(subs), nil
 	})
-	h.On("instances", func(args []idl.Any) (idl.Any, error) {
+	on("instances", func(args []idl.Any) (idl.Any, error) {
 		members, err := cd.Members(args[0].Str)
 		if err != nil {
 			return idl.Null(), userErr(err)
@@ -100,7 +114,7 @@ func NewServant(cd *CoDatabase) orb.Servant {
 		}
 		return idl.Seq(out...), nil
 	})
-	h.On("coalition_info", func(args []idl.Any) (idl.Any, error) {
+	on("coalition_info", func(args []idl.Any) (idl.Any, error) {
 		desc, syns, ok := cd.CoalitionInfo(args[0].Str)
 		if !ok {
 			return idl.Null(), userErr(fmt.Errorf("codb: no coalition %s known here", args[0].Str))
@@ -111,14 +125,14 @@ func NewServant(cd *CoDatabase) orb.Servant {
 			idl.F("synonyms", idl.Strings(syns)),
 		), nil
 	})
-	h.On("access_info", func(args []idl.Any) (idl.Any, error) {
+	on("access_info", func(args []idl.Any) (idl.Any, error) {
 		d, ok := cd.FindSource(args[0].Str)
 		if !ok {
 			return idl.Null(), userErr(fmt.Errorf("codb: no source %s known here", args[0].Str))
 		}
 		return d.ToAny(), nil
 	})
-	h.On("document", func(args []idl.Any) (idl.Any, error) {
+	on("document", func(args []idl.Any) (idl.Any, error) {
 		d, ok := cd.FindSource(args[0].Str)
 		if !ok {
 			return idl.Null(), userErr(fmt.Errorf("codb: no source %s known here", args[0].Str))
@@ -129,7 +143,7 @@ func NewServant(cd *CoDatabase) orb.Servant {
 			idl.F("html", idl.String(d.DocumentHTML)),
 		), nil
 	})
-	h.On("links", func(args []idl.Any) (idl.Any, error) {
+	on("links", func(args []idl.Any) (idl.Any, error) {
 		links := cd.Links()
 		out := make([]idl.Any, len(links))
 		for i, l := range links {
@@ -137,13 +151,13 @@ func NewServant(cd *CoDatabase) orb.Servant {
 		}
 		return idl.Seq(out...), nil
 	})
-	h.On("define_coalition", func(args []idl.Any) (idl.Any, error) {
+	on("define_coalition", func(args []idl.Any) (idl.Any, error) {
 		if err := cd.DefineCoalition(args[0].Str, args[1].Str, args[2].Str); err != nil {
 			return idl.Null(), userErr(err)
 		}
 		return idl.Any{Kind: idl.KindVoid}, nil
 	})
-	h.On("advertise", func(args []idl.Any) (idl.Any, error) {
+	on("advertise", func(args []idl.Any) (idl.Any, error) {
 		d, err := DescriptorFromAny(args[1])
 		if err != nil {
 			return idl.Null(), userErr(err)
@@ -153,7 +167,7 @@ func NewServant(cd *CoDatabase) orb.Servant {
 		}
 		return idl.Any{Kind: idl.KindVoid}, nil
 	})
-	h.On("add_link", func(args []idl.Any) (idl.Any, error) {
+	on("add_link", func(args []idl.Any) (idl.Any, error) {
 		l, err := LinkFromAny(args[0])
 		if err != nil {
 			return idl.Null(), userErr(err)
@@ -163,7 +177,7 @@ func NewServant(cd *CoDatabase) orb.Servant {
 		}
 		return idl.Any{Kind: idl.KindVoid}, nil
 	})
-	h.On("remove_member", func(args []idl.Any) (idl.Any, error) {
+	on("remove_member", func(args []idl.Any) (idl.Any, error) {
 		if err := cd.RemoveMember(args[0].Str, args[1].Str); err != nil {
 			return idl.Null(), userErr(err)
 		}
@@ -197,8 +211,8 @@ func (c *Client) Owner() (string, error) {
 	return v.Str, nil
 }
 
-func (c *Client) matches(op, topic string) ([]Match, error) {
-	v, err := c.ref.Invoke(op, idl.String(topic))
+func (c *Client) matches(ctx context.Context, op, topic string) ([]Match, error) {
+	v, err := c.ref.InvokeCtx(ctx, op, idl.String(topic))
 	if err != nil {
 		return nil, err
 	}
@@ -211,12 +225,23 @@ func (c *Client) matches(op, topic string) ([]Match, error) {
 
 // FindCoalitions scores the remote co-database's coalitions against topic.
 func (c *Client) FindCoalitions(topic string) ([]Match, error) {
-	return c.matches("find_coalitions", topic)
+	return c.matches(context.Background(), "find_coalitions", topic)
+}
+
+// FindCoalitionsCtx is FindCoalitions carrying the caller's trace context
+// across the hop.
+func (c *Client) FindCoalitionsCtx(ctx context.Context, topic string) ([]Match, error) {
+	return c.matches(ctx, "find_coalitions", topic)
 }
 
 // FindLinks scores the remote co-database's service links against topic.
 func (c *Client) FindLinks(topic string) ([]Match, error) {
-	return c.matches("find_links", topic)
+	return c.matches(context.Background(), "find_links", topic)
+}
+
+// FindLinksCtx is FindLinks carrying the caller's trace context.
+func (c *Client) FindLinksCtx(ctx context.Context, topic string) ([]Match, error) {
+	return c.matches(ctx, "find_links", topic)
 }
 
 // Coalitions lists the remote co-database's coalition classes.
@@ -248,7 +273,12 @@ func (c *Client) SubCoalitions(coalition string, direct bool) ([]string, error) 
 
 // Instances lists a coalition's member descriptors.
 func (c *Client) Instances(coalition string) ([]*SourceDescriptor, error) {
-	v, err := c.ref.Invoke("instances", idl.String(coalition))
+	return c.InstancesCtx(context.Background(), coalition)
+}
+
+// InstancesCtx is Instances carrying the caller's trace context.
+func (c *Client) InstancesCtx(ctx context.Context, coalition string) ([]*SourceDescriptor, error) {
+	v, err := c.ref.InvokeCtx(ctx, "instances", idl.String(coalition))
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +305,12 @@ func (c *Client) CoalitionInfo(coalition string) (string, []string, error) {
 
 // AccessInfo fetches a source descriptor by database name.
 func (c *Client) AccessInfo(source string) (*SourceDescriptor, error) {
-	v, err := c.ref.Invoke("access_info", idl.String(source))
+	return c.AccessInfoCtx(context.Background(), source)
+}
+
+// AccessInfoCtx is AccessInfo carrying the caller's trace context.
+func (c *Client) AccessInfoCtx(ctx context.Context, source string) (*SourceDescriptor, error) {
+	v, err := c.ref.InvokeCtx(ctx, "access_info", idl.String(source))
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +352,12 @@ func (c *Client) DefineCoalition(name, parent, description string) error {
 
 // Advertise adds a member descriptor to a remote coalition (dynamic join).
 func (c *Client) Advertise(coalition string, d *SourceDescriptor) error {
-	_, err := c.ref.Invoke("advertise", idl.String(coalition), d.ToAny())
+	return c.AdvertiseCtx(context.Background(), coalition, d)
+}
+
+// AdvertiseCtx is Advertise carrying the caller's trace context.
+func (c *Client) AdvertiseCtx(ctx context.Context, coalition string, d *SourceDescriptor) error {
+	_, err := c.ref.InvokeCtx(ctx, "advertise", idl.String(coalition), d.ToAny())
 	return err
 }
 
@@ -329,6 +369,11 @@ func (c *Client) AddLink(l *ServiceLink) error {
 
 // RemoveMember withdraws a database from a remote coalition.
 func (c *Client) RemoveMember(coalition, source string) error {
-	_, err := c.ref.Invoke("remove_member", idl.String(coalition), idl.String(source))
+	return c.RemoveMemberCtx(context.Background(), coalition, source)
+}
+
+// RemoveMemberCtx is RemoveMember carrying the caller's trace context.
+func (c *Client) RemoveMemberCtx(ctx context.Context, coalition, source string) error {
+	_, err := c.ref.InvokeCtx(ctx, "remove_member", idl.String(coalition), idl.String(source))
 	return err
 }

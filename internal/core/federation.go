@@ -25,8 +25,14 @@ type Federation struct {
 	links      []*codb.ServiceLink
 }
 
-// NewFederation boots the three ORB products on loopback.
-func NewFederation() (*Federation, error) {
+// NewFederation boots the three ORB products on loopback. An optional base
+// option set is applied to every ORB (its Product field is overridden per
+// ORB); tests use it to disable colocation or enable timeouts federation-wide.
+func NewFederation(base ...orb.Options) (*Federation, error) {
+	var opts orb.Options
+	if len(base) > 0 {
+		opts = base[0]
+	}
 	f := &Federation{
 		orbs:       make(map[orb.Product]*orb.ORB),
 		nodes:      make(map[string]*Node),
@@ -35,7 +41,8 @@ func NewFederation() (*Federation, error) {
 		descs:      make(map[string]string),
 	}
 	for _, p := range []orb.Product{orb.Orbix, orb.OrbixWeb, orb.VisiBroker} {
-		o := orb.New(orb.Options{Product: p})
+		opts.Product = p
+		o := orb.New(opts)
 		if err := o.Listen("127.0.0.1:0"); err != nil {
 			f.Shutdown()
 			return nil, err

@@ -6,6 +6,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -134,6 +135,33 @@ type Conn interface {
 	// Tables lists the queryable containers (tables or classes).
 	Tables() []string
 	Close() error
+}
+
+// ContextConn is optionally implemented by connections that accept a caller
+// context — the remote ISI connection uses it to keep the caller's trace
+// alive across the ORB hop to the data source. Use QueryContext/ExecContext
+// to call through it uniformly.
+type ContextConn interface {
+	Conn
+	QueryCtx(ctx context.Context, q string) (*Result, error)
+	ExecCtx(ctx context.Context, q string) (*Result, error)
+}
+
+// QueryContext runs a query through QueryCtx when the connection supports a
+// context, and plain Query otherwise.
+func QueryContext(ctx context.Context, c Conn, q string) (*Result, error) {
+	if cc, ok := c.(ContextConn); ok {
+		return cc.QueryCtx(ctx, q)
+	}
+	return c.Query(q)
+}
+
+// ExecContext is QueryContext for Exec.
+func ExecContext(ctx context.Context, c Conn, q string) (*Result, error) {
+	if cc, ok := c.(ContextConn); ok {
+		return cc.ExecCtx(ctx, q)
+	}
+	return c.Exec(q)
 }
 
 // Driver creates connections for one DSN scheme.

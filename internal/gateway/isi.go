@@ -1,11 +1,13 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/idl"
 	"repro/internal/orb"
+	"repro/internal/trace"
 )
 
 // ISIIDL is the Information Source Interface: the CORBA face of one
@@ -26,23 +28,32 @@ module WebFINDIT {
 
 // NewISIServant wraps a connection in an ISI servant. Invocations are
 // serialised with a mutex because gateway connections, like JDBC
-// connections, are single-threaded.
+// connections, are single-threaded. query and exec open a per-driver timing
+// span ("isi.query:<engine>"), so the time a source's engine spends on each
+// statement is visible in the trace of the query that reached it.
 func NewISIServant(conn Conn) orb.Servant {
 	var mu sync.Mutex
+	meta := conn.Meta()
 	h := orb.NewHandler(ISIIDL)
-	h.On("query", func(args []idl.Any) (idl.Any, error) {
+	h.OnCtx("query", func(ctx context.Context, args []idl.Any) (idl.Any, error) {
 		mu.Lock()
 		defer mu.Unlock()
+		_, sp := trace.StartSpan(ctx, "isi.query:"+meta.Engine)
+		sp.SetAttr("database", meta.Database)
 		res, err := conn.Query(args[0].Str)
+		sp.End(err)
 		if err != nil {
 			return idl.Null(), &orb.UserException{Name: "QueryError", Message: err.Error()}
 		}
 		return res.ToAny(), nil
 	})
-	h.On("exec", func(args []idl.Any) (idl.Any, error) {
+	h.OnCtx("exec", func(ctx context.Context, args []idl.Any) (idl.Any, error) {
 		mu.Lock()
 		defer mu.Unlock()
+		_, sp := trace.StartSpan(ctx, "isi.exec:"+meta.Engine)
+		sp.SetAttr("database", meta.Database)
 		res, err := conn.Exec(args[0].Str)
+		sp.End(err)
 		if err != nil {
 			return idl.Null(), &orb.UserException{Name: "ExecError", Message: err.Error()}
 		}
@@ -86,10 +97,16 @@ func (c *RemoteConn) check() error {
 
 // Query implements Conn.
 func (c *RemoteConn) Query(q string) (*Result, error) {
+	return c.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx implements ContextConn: the context travels through the ORB hop,
+// so the remote ISI's driver span joins the caller's trace.
+func (c *RemoteConn) QueryCtx(ctx context.Context, q string) (*Result, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
-	a, err := c.ref.Invoke("query", idl.String(q))
+	a, err := c.ref.InvokeCtx(ctx, "query", idl.String(q))
 	if err != nil {
 		return nil, remapISIError(err)
 	}
@@ -98,10 +115,15 @@ func (c *RemoteConn) Query(q string) (*Result, error) {
 
 // Exec implements Conn.
 func (c *RemoteConn) Exec(q string) (*Result, error) {
+	return c.ExecCtx(context.Background(), q)
+}
+
+// ExecCtx implements ContextConn.
+func (c *RemoteConn) ExecCtx(ctx context.Context, q string) (*Result, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
-	a, err := c.ref.Invoke("exec", idl.String(q))
+	a, err := c.ref.InvokeCtx(ctx, "exec", idl.String(q))
 	if err != nil {
 		return nil, remapISIError(err)
 	}
@@ -172,7 +194,7 @@ func (d *RemoteDriver) Open(name string) (Conn, error) {
 	return NewRemoteConn(ref), nil
 }
 
-var _ Conn = (*RemoteConn)(nil)
+var _ ContextConn = (*RemoteConn)(nil)
 var _ Driver = (*RemoteDriver)(nil)
 var _ Driver = (*RelationalDriver)(nil)
 var _ Driver = (*ObjectDriver)(nil)

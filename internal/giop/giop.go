@@ -330,6 +330,34 @@ type ServiceContext struct {
 	Data []byte
 }
 
+// ServiceContextTracing tags the trace-propagation entry the ORB's request
+// interceptors attach to requests ("WT" vendor tag, like the OMG-registered
+// vendor service context ranges). Its data is an encoded trace.SpanContext,
+// which is how one trace ID follows a query across every ORB hop.
+const ServiceContextTracing uint32 = 0x57540001
+
+// GetServiceContext returns the data of the first entry with the given ID.
+func GetServiceContext(list []ServiceContext, id uint32) ([]byte, bool) {
+	for _, c := range list {
+		if c.ID == id {
+			return c.Data, true
+		}
+	}
+	return nil, false
+}
+
+// WithServiceContext returns the list with the entry for id set to data,
+// replacing an existing entry or appending a new one.
+func WithServiceContext(list []ServiceContext, id uint32, data []byte) []ServiceContext {
+	for i := range list {
+		if list[i].ID == id {
+			list[i].Data = data
+			return list
+		}
+	}
+	return append(list, ServiceContext{ID: id, Data: data})
+}
+
 // RequestHeader is the GIOP 1.0 Request header.
 type RequestHeader struct {
 	ServiceContext   []ServiceContext

@@ -593,9 +593,11 @@ func LinkNames() []string {
 }
 
 // Build assembles the full healthcare world: three ORBs, fourteen databases
-// with co-databases, five coalitions and nine service links.
-func Build() (*World, error) {
-	fed, err := core.NewFederation()
+// with co-databases, five coalitions and nine service links. An optional base
+// orb.Options is applied to every ORB (see core.NewFederation); tests use it
+// to force every invocation over real IIOP.
+func Build(base ...orb.Options) (*World, error) {
+	fed, err := core.NewFederation(base...)
 	if err != nil {
 		return nil, err
 	}

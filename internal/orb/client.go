@@ -2,6 +2,7 @@ package orb
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -29,24 +30,69 @@ func (r *ObjectRef) IOR() *IOR { return r.ior }
 
 // Invoke performs a synchronous request and returns the result value.
 func (r *ObjectRef) Invoke(op string, args ...idl.Any) (idl.Any, error) {
-	if target, ok := r.orb.colocatedTarget(r.ior.Addr()); ok {
-		r.orb.Stats.ColocatedCalls.Add(1)
-		return target.dispatch(r.ior.Key(), op, args)
-	}
-	r.orb.Stats.IIOPCalls.Add(1)
-	return r.orb.pool.roundTrip(r.ior, op, args, true)
+	return r.invoke(context.Background(), op, args, true)
+}
+
+// InvokeCtx is Invoke with a caller context. The context reaches the client
+// request interceptors (which propagate its trace parentage across the hop
+// in a service context entry) and, on the colocated fast path, the servant.
+func (r *ObjectRef) InvokeCtx(ctx context.Context, op string, args ...idl.Any) (idl.Any, error) {
+	return r.invoke(ctx, op, args, true)
 }
 
 // InvokeOneway performs a fire-and-forget request (no reply is read).
 func (r *ObjectRef) InvokeOneway(op string, args ...idl.Any) error {
-	if target, ok := r.orb.colocatedTarget(r.ior.Addr()); ok {
-		r.orb.Stats.ColocatedCalls.Add(1)
-		_, err := target.dispatch(r.ior.Key(), op, args)
-		return err
-	}
-	r.orb.Stats.IIOPCalls.Add(1)
-	_, err := r.orb.pool.roundTrip(r.ior, op, args, false)
+	_, err := r.invoke(context.Background(), op, args, false)
 	return err
+}
+
+// InvokeOnewayCtx is InvokeOneway with a caller context (see InvokeCtx).
+func (r *ObjectRef) InvokeOnewayCtx(ctx context.Context, op string, args ...idl.Any) error {
+	_, err := r.invoke(ctx, op, args, false)
+	return err
+}
+
+// invoke is the shared invocation path. Client interceptors run around the
+// whole logical invocation — SendRequest once (not per transparent retry),
+// ReceiveReply once with the final outcome — and their service context
+// entries travel in the GIOP request header (or are handed to the target
+// adapter directly on the colocated fast path, so a colocated hop is
+// observationally identical to a socket hop).
+func (r *ObjectRef) invoke(ctx context.Context, op string, args []idl.Any, expectReply bool) (idl.Any, error) {
+	o := r.orb
+	target, colocated := o.colocatedTarget(r.ior.Addr())
+	cis := o.clientInterceptors()
+	var ri *ClientRequestInfo
+	var svcCtxs []giop.ServiceContext
+	if len(cis) > 0 {
+		ri = &ClientRequestInfo{
+			Ctx:       ctx,
+			Operation: op,
+			ObjectKey: r.ior.ObjectKey,
+			Addr:      r.ior.Addr(),
+			Colocated: colocated,
+			Oneway:    !expectReply,
+		}
+		for _, ci := range cis {
+			ci.SendRequest(ri)
+		}
+		ctx = ri.Ctx
+		svcCtxs = ri.ServiceContexts
+	}
+
+	var result idl.Any
+	var err error
+	if colocated {
+		o.Stats.ColocatedCalls.Add(1)
+		result, err = target.dispatchIncoming(ctx, r.ior.Key(), op, args, svcCtxs, "colocated")
+	} else {
+		o.Stats.IIOPCalls.Add(1)
+		result, err = o.pool.roundTrip(r.ior, op, args, expectReply, svcCtxs)
+	}
+	for i := len(cis) - 1; i >= 0; i-- {
+		cis[i].ReceiveReply(ri, err)
+	}
+	return result, err
 }
 
 // Locate asks the target adapter whether the object exists, using a GIOP
@@ -367,8 +413,9 @@ func (p *connPool) closeAll() {
 
 // roundTrip sends one GIOP Request and (when expectReply) awaits the Reply.
 // If the chosen connection was poisoned before the request could be written,
-// it retries once on a fresh connection.
-func (p *connPool) roundTrip(ior *IOR, op string, args []idl.Any, expectReply bool) (idl.Any, error) {
+// it retries once on a fresh connection. svcCtxs are the service context
+// entries (interceptor-added) carried in the request header.
+func (p *connPool) roundTrip(ior *IOR, op string, args []idl.Any, expectReply bool, svcCtxs []giop.ServiceContext) (idl.Any, error) {
 	addr := ior.Addr()
 	order := p.orb.wireOrder()
 	for attempt := 0; ; attempt++ {
@@ -379,6 +426,7 @@ func (p *connPool) roundTrip(ior *IOR, op string, args []idl.Any, expectReply bo
 		reqID := c.nextID.Add(1)
 		e := giop.NewBodyEncoder(order)
 		(&giop.RequestHeader{
+			ServiceContext:   svcCtxs,
 			RequestID:        reqID,
 			ResponseExpected: expectReply,
 			ObjectKey:        ior.ObjectKey,

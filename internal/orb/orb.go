@@ -27,8 +27,17 @@ const (
 	VisiBroker Product = "VisiBroker"
 )
 
-// Stats holds ORB invocation counters, used by experiments and benchmarks to
-// verify which path (colocated vs socket IIOP) served each call.
+// Stats holds ORB invocation counters, used by experiments, benchmarks and
+// the /debug/metrics endpoint to verify which path (colocated vs socket
+// IIOP) served each call.
+//
+// Concurrency contract: every field is an atomic counter written by ORB
+// goroutines at any time. Readers must use the fields' Load methods (or
+// Snapshot, which does); plain struct reads are never safe. The struct
+// embeds sync state, so it must not be copied after first use — `go vet`'s
+// copylocks check enforces this. Counters are independent: a set of loads
+// (or a Snapshot) is consistent per counter, not transactionally across
+// counters.
 type Stats struct {
 	RequestsServed atomic.Int64 // requests dispatched by this ORB's adapter
 	ColocatedCalls atomic.Int64 // client calls short-circuited in-process
@@ -43,6 +52,44 @@ type Stats struct {
 	OnewayRequests atomic.Int64
 	InFlight       atomic.Int64 // client requests currently awaiting a reply
 	MaxInFlight    atomic.Int64 // high-water mark of InFlight
+}
+
+// StatsSnapshot is a plain-value copy of Stats, safe to serialize (it is the
+// shape the node binary publishes under /debug/metrics).
+type StatsSnapshot struct {
+	RequestsServed int64 `json:"requests_served"`
+	ColocatedCalls int64 `json:"colocated_calls"`
+	IIOPCalls      int64 `json:"iiop_calls"`
+	BytesSent      int64 `json:"bytes_sent"`
+	BytesReceived  int64 `json:"bytes_received"`
+	LocateRequests int64 `json:"locate_requests"`
+	ActiveConns    int64 `json:"active_conns"`
+	ProtocolErrors int64 `json:"protocol_errors"`
+	UserExceptions int64 `json:"user_exceptions"`
+	SysExceptions  int64 `json:"sys_exceptions"`
+	OnewayRequests int64 `json:"oneway_requests"`
+	InFlight       int64 `json:"in_flight"`
+	MaxInFlight    int64 `json:"max_in_flight"`
+}
+
+// Snapshot loads every counter atomically (field by field; see the Stats
+// concurrency contract) and returns the copy.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		RequestsServed: s.RequestsServed.Load(),
+		ColocatedCalls: s.ColocatedCalls.Load(),
+		IIOPCalls:      s.IIOPCalls.Load(),
+		BytesSent:      s.BytesSent.Load(),
+		BytesReceived:  s.BytesReceived.Load(),
+		LocateRequests: s.LocateRequests.Load(),
+		ActiveConns:    s.ActiveConns.Load(),
+		ProtocolErrors: s.ProtocolErrors.Load(),
+		UserExceptions: s.UserExceptions.Load(),
+		SysExceptions:  s.SysExceptions.Load(),
+		OnewayRequests: s.OnewayRequests.Load(),
+		InFlight:       s.InFlight.Load(),
+		MaxInFlight:    s.MaxInFlight.Load(),
+	}
 }
 
 // noteInFlight bumps the InFlight gauge and keeps MaxInFlight at its
@@ -104,6 +151,8 @@ type ORB struct {
 	port     uint16
 
 	pool *connPool
+
+	interceptors interceptorRegistry
 
 	Stats Stats
 

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,16 @@ import (
 type Servant interface {
 	InterfaceDef() *idl.Interface
 	Invoke(op string, args []idl.Any) (idl.Any, error)
+}
+
+// ContextServant is optionally implemented by servants that want the dispatch
+// context — which carries the request's trace parentage as placed by the
+// server-side interceptors. The object adapter prefers InvokeCtx when the
+// servant provides it and falls back to Invoke otherwise, so existing
+// servants keep working unchanged.
+type ContextServant interface {
+	Servant
+	InvokeCtx(ctx context.Context, op string, args []idl.Any) (idl.Any, error)
 }
 
 // UserException is an application-level exception that crosses the wire as a
@@ -63,26 +74,39 @@ const (
 // OpFunc is the handler signature used by Handler servants.
 type OpFunc func(args []idl.Any) (idl.Any, error)
 
+// CtxOpFunc is the context-aware handler signature: the context is the
+// dispatch context (trace parentage included) for this request.
+type CtxOpFunc func(ctx context.Context, args []idl.Any) (idl.Any, error)
+
 // Handler is a map-based Servant: operations are registered as closures
 // against an interface definition. It is the reproduction's equivalent of an
-// IDL-generated skeleton.
+// IDL-generated skeleton. Handlers registered with On ignore the dispatch
+// context; OnCtx handlers receive it.
 type Handler struct {
 	iface *idl.Interface
 	mu    sync.RWMutex
-	ops   map[string]OpFunc
+	ops   map[string]CtxOpFunc
 }
 
 // NewHandler creates a Handler servant for the given interface.
 func NewHandler(iface *idl.Interface) *Handler {
-	return &Handler{iface: iface, ops: make(map[string]OpFunc)}
+	return &Handler{iface: iface, ops: make(map[string]CtxOpFunc)}
 }
 
 // On registers the implementation of an operation. It panics if the
 // operation is not part of the interface, catching skeleton/interface drift
 // at construction time rather than at invocation time.
 func (h *Handler) On(op string, fn OpFunc) *Handler {
+	return h.OnCtx(op, func(_ context.Context, args []idl.Any) (idl.Any, error) {
+		return fn(args)
+	})
+}
+
+// OnCtx registers a context-aware operation implementation. Like On, it
+// panics if the operation is not part of the interface.
+func (h *Handler) OnCtx(op string, fn CtxOpFunc) *Handler {
 	if _, err := h.iface.Op(op); err != nil {
-		panic(fmt.Sprintf("orb: Handler.On: %v", err))
+		panic(fmt.Sprintf("orb: Handler.OnCtx: %v", err))
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -95,6 +119,11 @@ func (h *Handler) InterfaceDef() *idl.Interface { return h.iface }
 
 // Invoke implements Servant.
 func (h *Handler) Invoke(op string, args []idl.Any) (idl.Any, error) {
+	return h.InvokeCtx(context.Background(), op, args)
+}
+
+// InvokeCtx implements ContextServant.
+func (h *Handler) InvokeCtx(ctx context.Context, op string, args []idl.Any) (idl.Any, error) {
 	def, err := h.iface.Op(op)
 	if err != nil {
 		return idl.Null(), &SystemException{Name: ExcBadOperation, Detail: err.Error()}
@@ -114,7 +143,7 @@ func (h *Handler) Invoke(op string, args []idl.Any) (idl.Any, error) {
 			Detail: fmt.Sprintf("operation %s declared but not implemented", op),
 		}
 	}
-	return fn(args)
+	return fn(ctx, args)
 }
 
 // Implemented lists the operations with registered handlers, sorted.

@@ -2,6 +2,7 @@ package orb
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -130,7 +131,8 @@ func (o *ORB) handleRequest(w *giop.SyncWriter, msg *giop.Message) bool {
 			&SystemException{Name: ExcMarshal, Detail: err.Error()}) == nil
 	}
 
-	result, invErr := o.dispatch(string(hdr.ObjectKey), hdr.Operation, args)
+	result, invErr := o.dispatchIncoming(context.Background(),
+		string(hdr.ObjectKey), hdr.Operation, args, hdr.ServiceContext, "iiop")
 	if !hdr.ResponseExpected {
 		o.Stats.OnewayRequests.Add(1)
 		return true
@@ -138,14 +140,45 @@ func (o *ORB) handleRequest(w *giop.SyncWriter, msg *giop.Message) bool {
 	return o.writeReply(w, msg.Order, hdr, result, invErr) == nil
 }
 
-// dispatch runs the servant invocation for an object key; it is used both by
-// the socket path and the colocation fast path so behaviour is identical.
-func (o *ORB) dispatch(key, op string, args []idl.Any) (idl.Any, error) {
+// dispatchIncoming runs the server request interceptors around a servant
+// dispatch; it is used both by the socket path (service contexts come from
+// the GIOP request header) and the colocation fast path (they are handed
+// across in-process), so interceptor behaviour — trace propagation included —
+// is identical on both.
+func (o *ORB) dispatchIncoming(ctx context.Context, key, op string, args []idl.Any, svcCtxs []giop.ServiceContext, transport string) (idl.Any, error) {
+	sis := o.serverInterceptors()
+	if len(sis) == 0 {
+		return o.dispatch(ctx, key, op, args)
+	}
+	ri := &ServerRequestInfo{
+		Ctx:             ctx,
+		Operation:       op,
+		ObjectKey:       []byte(key),
+		Transport:       transport,
+		ServiceContexts: svcCtxs,
+	}
+	for _, si := range sis {
+		si.ReceiveRequest(ri)
+	}
+	result, err := o.dispatch(ri.Ctx, key, op, args)
+	for i := len(sis) - 1; i >= 0; i-- {
+		sis[i].SendReply(ri, err)
+	}
+	return result, err
+}
+
+// dispatch runs the servant invocation for an object key. Context-aware
+// servants receive ctx (carrying the interceptors' trace parentage); plain
+// servants are invoked as before.
+func (o *ORB) dispatch(ctx context.Context, key, op string, args []idl.Any) (idl.Any, error) {
 	s, ok := o.lookupServant(key)
 	if !ok {
 		return idl.Null(), &SystemException{Name: ExcObjectNotExist, Detail: "object key " + key}
 	}
 	o.Stats.RequestsServed.Add(1)
+	if cs, ok := s.(ContextServant); ok {
+		return cs.InvokeCtx(ctx, op, args)
+	}
 	return s.Invoke(op, args)
 }
 

@@ -1,0 +1,212 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/idl"
+	"repro/internal/trace"
+)
+
+// buildTracedChain boots client → relay → backend ORBs with colocation
+// disabled (every hop is a real IIOP socket) and tracing enabled on a shared
+// tracer. The relay's echo re-invokes the backend's echo under the dispatch
+// context, so one call crosses two IIOP hops.
+func buildTracedChain(t *testing.T, tr *trace.Tracer) (client *ORB, relayRef *ObjectRef) {
+	t.Helper()
+	backend := New(Options{Product: Orbix, DisableColocation: true})
+	if err := backend.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(backend.Shutdown)
+	backend.EnableTracing(tr)
+	backendIOR, err := backend.Activate("Echo", newEchoServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	relay := New(Options{Product: OrbixWeb, DisableColocation: true})
+	if err := relay.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(relay.Shutdown)
+	relay.EnableTracing(tr)
+	backendRef := relay.Resolve(backendIOR)
+	relayServant := NewHandler(echoIDL)
+	relayServant.OnCtx("echo", func(ctx context.Context, args []idl.Any) (idl.Any, error) {
+		return backendRef.InvokeCtx(ctx, "echo", args[0])
+	})
+	relayIOR, err := relay.Activate("Relay", relayServant)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client = New(Options{Product: VisiBroker, DisableColocation: true})
+	t.Cleanup(client.Shutdown)
+	client.EnableTracing(tr)
+	return client, client.Resolve(relayIOR)
+}
+
+// chainOf indexes one trace's spans by name and verifies the five-span shape
+// of a two-hop traced call: root → client:echo → server:echo(relay) →
+// client:echo(relay→backend) → server:echo(backend), all under one trace ID.
+func verifyTwoHopTrace(t *testing.T, tr *trace.Tracer, root trace.SpanContext) {
+	t.Helper()
+	spans := tr.TraceSpans(root.Trace.String())
+	if len(spans) != 5 {
+		t.Fatalf("trace %s has %d spans, want 5: %+v", root.Trace, len(spans), spans)
+	}
+	byID := map[string]trace.SpanRecord{}
+	for _, s := range spans {
+		if s.Trace != root.Trace.String() {
+			t.Fatalf("span %s carries trace %s, want %s", s.Name, s.Trace, root.Trace)
+		}
+		byID[s.Span] = s
+	}
+	// Walk up from the backend's server span: its ancestry must pass through
+	// both hops and terminate at the client's root span.
+	var leaf *trace.SpanRecord
+	for i := range spans {
+		if spans[i].Name != "server:echo" {
+			continue
+		}
+		isLeafTransport := false
+		for _, a := range spans[i].Attrs {
+			if a.Key == "key" && a.Value == "Echo" {
+				isLeafTransport = true
+			}
+		}
+		if isLeafTransport {
+			leaf = &spans[i]
+		}
+	}
+	if leaf == nil {
+		t.Fatalf("no backend server:echo span in %+v", spans)
+	}
+	wantNames := []string{"server:echo", "client:echo", "server:echo", "client:echo", "root"}
+	cur := *leaf
+	for i, want := range wantNames {
+		if cur.Name != want {
+			t.Fatalf("ancestry[%d] = %s, want %s", i, cur.Name, want)
+		}
+		if want != "root" {
+			for _, a := range cur.Attrs {
+				if a.Key == "transport" && a.Value != "iiop" {
+					t.Fatalf("span %s transport = %s, want iiop", cur.Name, a.Value)
+				}
+			}
+			next, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %s has dangling parent %s", cur.Name, cur.Parent)
+			}
+			cur = next
+		}
+	}
+	if cur.Span != root.Span.String() {
+		t.Fatalf("ancestry terminates at %s, not the caller's root span", cur.Span)
+	}
+}
+
+// TestTracePropagationTwoIIOPHops asserts that a span started on the client
+// is visible — same trace ID — inside a servant two IIOP hops away.
+func TestTracePropagationTwoIIOPHops(t *testing.T) {
+	tr := trace.New(trace.Options{Capacity: 64})
+	_, relayRef := buildTracedChain(t, tr)
+
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	got, err := relayRef.InvokeCtx(ctx, "echo", idl.String("follow me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Str != "follow me" {
+		t.Fatalf("echo = %q", got.Str)
+	}
+	root.End(nil)
+	verifyTwoHopTrace(t, tr, root.Context())
+}
+
+// TestTracePropagationConcurrent drives many concurrent two-hop calls over
+// the shared pipelined connections and verifies every caller's trace stays
+// intact — no span leaks into another caller's trace.
+func TestTracePropagationConcurrent(t *testing.T) {
+	const goroutines, calls = 8, 10
+	tr := trace.New(trace.Options{Capacity: goroutines * calls * 8})
+	_, relayRef := buildTracedChain(t, tr)
+
+	roots := make([][]trace.SpanContext, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				ctx, root := tr.StartSpan(context.Background(), "root")
+				msg := fmt.Sprintf("g%d-i%d", g, i)
+				got, err := relayRef.InvokeCtx(ctx, "echo", idl.String(msg))
+				root.End(err)
+				if err != nil {
+					t.Errorf("%s: %v", msg, err)
+					return
+				}
+				if got.Str != msg {
+					t.Errorf("echo = %q, want %q", got.Str, msg)
+				}
+				roots[g] = append(roots[g], root.Context())
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for g := 0; g < goroutines; g++ {
+		for _, root := range roots[g] {
+			verifyTwoHopTrace(t, tr, root)
+		}
+	}
+}
+
+// TestColocatedCallTracedLikeIIOP asserts the colocation fast path runs the
+// same interceptor chain: one client invocation yields a client span and a
+// server span with transport=colocated under the caller's trace.
+func TestColocatedCallTracedLikeIIOP(t *testing.T) {
+	tr := trace.New(trace.Options{Capacity: 16})
+	server := New(Options{Product: Orbix})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	server.EnableTracing(tr)
+	ior, err := server.Activate("Echo", newEchoServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := server.Resolve(ior)
+
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	if _, err := ref.InvokeCtx(ctx, "echo", idl.String("in-process")); err != nil {
+		t.Fatal(err)
+	}
+	root.End(nil)
+	if n := server.Stats.ColocatedCalls.Load(); n != 1 {
+		t.Fatalf("colocated calls = %d, want 1", n)
+	}
+
+	spans := tr.TraceSpans(root.Context().Trace.String())
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3 (root, client, server): %+v", len(spans), spans)
+	}
+	transports := map[string]string{}
+	for _, s := range spans {
+		for _, a := range s.Attrs {
+			if a.Key == "transport" {
+				transports[s.Name] = a.Value
+			}
+		}
+	}
+	if transports["client:echo"] != "colocated" || transports["server:echo"] != "colocated" {
+		t.Errorf("transports = %v, want colocated on both sides", transports)
+	}
+}

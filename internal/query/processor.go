@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/idl"
 	"repro/internal/orb"
+	"repro/internal/trace"
 	"repro/internal/wtl"
 )
 
@@ -126,21 +128,42 @@ func (s *Session) current() *codb.Client {
 
 // Execute parses and runs one WebTassili statement.
 func (s *Session) Execute(src string) (*Response, error) {
+	return s.ExecuteCtx(context.Background(), src)
+}
+
+// ExecuteCtx is Execute under a caller context: every ORB invocation the
+// statement triggers — metadata lookups, peer probes, coalition fan-out,
+// gateway/ISI calls — joins the caller's trace.
+func (s *Session) ExecuteCtx(ctx context.Context, src string) (*Response, error) {
 	stmt, err := wtl.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	s.tracef("query", "parsed %T", stmt)
-	return s.ExecuteStmt(stmt)
+	return s.ExecuteStmtCtx(ctx, stmt)
 }
 
 // ExecuteStmt runs one parsed statement.
 func (s *Session) ExecuteStmt(stmt wtl.Stmt) (*Response, error) {
+	return s.ExecuteStmtCtx(context.Background(), stmt)
+}
+
+// ExecuteStmtCtx runs one parsed statement under a caller context. The whole
+// statement runs inside a "query:<StmtType>" span; every stage below parents
+// onto it.
+func (s *Session) ExecuteStmtCtx(ctx context.Context, stmt wtl.Stmt) (*Response, error) {
+	ctx, sp := trace.StartSpan(ctx, "query:"+strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*wtl."))
+	resp, err := s.execStmt(ctx, stmt)
+	sp.End(err)
+	return resp, err
+}
+
+func (s *Session) execStmt(ctx context.Context, stmt wtl.Stmt) (*Response, error) {
 	switch q := stmt.(type) {
 	case *wtl.FindCoalitions:
-		return s.execFind(q)
+		return s.execFind(ctx, q)
 	case *wtl.Connect:
-		return s.execConnect(q)
+		return s.execConnect(ctx, q)
 	case *wtl.DisplayCoalitions:
 		return s.execCoalitions(q)
 	case *wtl.DisplayLinks:
@@ -148,27 +171,27 @@ func (s *Session) ExecuteStmt(stmt wtl.Stmt) (*Response, error) {
 	case *wtl.DisplaySubClasses:
 		return s.execSubClasses(q)
 	case *wtl.DisplayInstances:
-		return s.execInstances(q)
+		return s.execInstances(ctx, q)
 	case *wtl.DisplayDocument:
 		return s.execDocument(q)
 	case *wtl.DisplayAccessInfo:
-		return s.execAccessInfo(q)
+		return s.execAccessInfo(ctx, q)
 	case *wtl.DisplayInterface:
-		return s.execInterface(q)
+		return s.execInterface(ctx, q)
 	case *wtl.SearchType:
-		return s.execSearchType(q)
+		return s.execSearchType(ctx, q)
 	case *wtl.FuncQuery:
-		return s.execFuncQuery(q)
+		return s.execFuncQuery(ctx, q)
 	case *wtl.NativeQuery:
-		return s.execNativeQuery(q)
+		return s.execNativeQuery(ctx, q)
 	case *wtl.CreateCoalition:
 		return s.execCreateCoalition(q)
 	case *wtl.CreateLink:
 		return s.execCreateLink(q)
 	case *wtl.JoinCoalition:
-		return s.execJoin(q)
+		return s.execJoin(ctx, q)
 	case *wtl.LeaveCoalition:
-		return s.execLeave(q)
+		return s.execLeave(ctx, q)
 	}
 	return nil, fmt.Errorf("query: unsupported statement %T", stmt)
 }
@@ -178,8 +201,8 @@ func (s *Session) ExecuteStmt(stmt wtl.Stmt) (*Response, error) {
 // execFind implements the three-stage resolution of §2: local coalitions
 // first, then local service links, then the coalitions/links known to the
 // other members of the local coalitions.
-func (s *Session) execFind(q *wtl.FindCoalitions) (*Response, error) {
-	leads, err := s.p.resolveTopic(s, q.Topic)
+func (s *Session) execFind(ctx context.Context, q *wtl.FindCoalitions) (*Response, error) {
+	leads, err := s.p.resolveTopic(ctx, s, q.Topic)
 	if err != nil {
 		return nil, err
 	}
@@ -212,14 +235,18 @@ func fullScore(leads []Lead) bool {
 // resolveTopic runs the resolution algorithm and returns leads. Stages
 // escalate (local coalitions, then local service links, then coalition
 // peers) until some stage produces a full match; weaker partial matches from
-// earlier stages are kept as additional leads for the user to inspect.
-func (p *Processor) resolveTopic(s *Session, topic string) ([]Lead, error) {
+// earlier stages are kept as additional leads for the user to inspect. Each
+// stage runs in its own span, and stage 3's fan-out opens a span per peer
+// probed, so the trace shows where discovery time goes.
+func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) ([]Lead, error) {
 	local := p.cfg.Local
 	var leads []Lead
 
 	// Stage 1: coalitions in the local co-database.
 	s.tracef("communication", "invoke find_coalitions(%q) on local co-database", topic)
-	matches, err := local.FindCoalitions(topic)
+	st1Ctx, st1 := trace.StartSpan(ctx, "query.stage:local-coalitions")
+	matches, err := local.FindCoalitionsCtx(st1Ctx, topic)
+	st1.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("query: local co-database: %w", err)
 	}
@@ -231,7 +258,9 @@ func (p *Processor) resolveTopic(s *Session, topic string) ([]Lead, error) {
 
 	// Stage 2: service links known locally.
 	s.tracef("communication", "invoke find_links(%q) on local co-database", topic)
-	links, err := local.FindLinks(topic)
+	st2Ctx, st2 := trace.StartSpan(ctx, "query.stage:local-links")
+	links, err := local.FindLinksCtx(st2Ctx, topic)
+	st2.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("query: local co-database links: %w", err)
 	}
@@ -248,6 +277,8 @@ func (p *Processor) resolveTopic(s *Session, topic string) ([]Lead, error) {
 	// probed in parallel, so stage latency tracks the slowest peer instead
 	// of the sum of all peers. Results are merged back in member order,
 	// keeping lead ordering identical to the serial algorithm.
+	st3Ctx, st3 := trace.StartSpan(ctx, "query.stage:coalition-peers")
+	defer st3.End(nil)
 	memberOf, err := local.MemberOf()
 	if err != nil {
 		return nil, err
@@ -262,7 +293,7 @@ func (p *Processor) resolveTopic(s *Session, topic string) ([]Lead, error) {
 	var probes []*peerProbe
 	probed := map[string]bool{}
 	for _, coalition := range memberOf {
-		members, err := local.Instances(coalition)
+		members, err := local.InstancesCtx(st3Ctx, coalition)
 		if err != nil {
 			continue
 		}
@@ -282,12 +313,14 @@ func (p *Processor) resolveTopic(s *Session, topic string) ([]Lead, error) {
 	}
 	fanOut(len(probes), p.cfg.FanOut, func(i int) {
 		pr := probes[i]
-		if pm, err := pr.peer.FindCoalitions(topic); err == nil {
+		probeCtx, psp := trace.StartSpan(st3Ctx, "query.probe:"+pr.name)
+		if pm, err := pr.peer.FindCoalitionsCtx(probeCtx, topic); err == nil {
 			pr.coals = pm
 		}
-		if pl, err := pr.peer.FindLinks(topic); err == nil {
+		if pl, err := pr.peer.FindLinksCtx(probeCtx, topic); err == nil {
 			pr.links = pl
 		}
+		psp.End(nil)
 	})
 	out := leads
 	seen := map[string]bool{}
@@ -356,8 +389,8 @@ func (p *Processor) codbByRef(ref string) (*codb.Client, error) {
 
 // execConnect provides a point of entry for a coalition: the session's
 // subsequent Display queries run against the co-database that knows it.
-func (s *Session) execConnect(q *wtl.Connect) (*Response, error) {
-	client, err := s.p.coalitionEntry(s, q.Coalition)
+func (s *Session) execConnect(ctx context.Context, q *wtl.Connect) (*Response, error) {
+	client, err := s.p.coalitionEntry(ctx, s, q.Coalition)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +401,7 @@ func (s *Session) execConnect(q *wtl.Connect) (*Response, error) {
 
 // coalitionEntry finds a co-database that knows the coalition: locally,
 // through a service link, or through a coalition peer.
-func (p *Processor) coalitionEntry(s *Session, coalition string) (*codb.Client, error) {
+func (p *Processor) coalitionEntry(ctx context.Context, s *Session, coalition string) (*codb.Client, error) {
 	local := p.cfg.Local
 	if hasCoalition(local, coalition) {
 		s.tracef("meta-data", "coalition %s found in local co-database", coalition)
@@ -389,7 +422,7 @@ func (p *Processor) coalitionEntry(s *Session, coalition string) (*codb.Client, 
 	// Ask coalition peers.
 	memberOf, _ := local.MemberOf()
 	for _, c := range memberOf {
-		members, err := local.Instances(c)
+		members, err := local.InstancesCtx(ctx, c)
 		if err != nil {
 			continue
 		}
@@ -485,9 +518,9 @@ func (s *Session) execSubClasses(q *wtl.DisplaySubClasses) (*Response, error) {
 	return &Response{Stmt: q, Names: subs, Text: text}, nil
 }
 
-func (s *Session) execInstances(q *wtl.DisplayInstances) (*Response, error) {
+func (s *Session) execInstances(ctx context.Context, q *wtl.DisplayInstances) (*Response, error) {
 	s.tracef("communication", "invoke instances(%q)", q.Class)
-	members, err := s.current().Instances(q.Class)
+	members, err := s.current().InstancesCtx(ctx, q.Class)
 	if err != nil {
 		return nil, err
 	}
@@ -513,9 +546,9 @@ func (s *Session) execDocument(q *wtl.DisplayDocument) (*Response, error) {
 	return &Response{Stmt: q, DocURL: url, DocHTML: html, Text: text}, nil
 }
 
-func (s *Session) execAccessInfo(q *wtl.DisplayAccessInfo) (*Response, error) {
+func (s *Session) execAccessInfo(ctx context.Context, q *wtl.DisplayAccessInfo) (*Response, error) {
 	s.tracef("communication", "invoke access_info(%q)", q.Instance)
-	d, err := s.current().AccessInfo(q.Instance)
+	d, err := s.current().AccessInfoCtx(ctx, q.Instance)
 	if err != nil {
 		return nil, err
 	}
@@ -530,9 +563,9 @@ func (s *Session) execAccessInfo(q *wtl.DisplayAccessInfo) (*Response, error) {
 	return &Response{Stmt: q, Descriptor: d, Text: strings.TrimRight(b.String(), "\n")}, nil
 }
 
-func (s *Session) execInterface(q *wtl.DisplayInterface) (*Response, error) {
+func (s *Session) execInterface(ctx context.Context, q *wtl.DisplayInterface) (*Response, error) {
 	s.tracef("communication", "invoke access_info(%q)", q.Instance)
-	d, err := s.current().AccessInfo(q.Instance)
+	d, err := s.current().AccessInfoCtx(ctx, q.Instance)
 	if err != nil {
 		return nil, err
 	}
@@ -585,7 +618,7 @@ func attrNameMatches(have, want string) bool {
 	return strings.EqualFold(hBase, wBase)
 }
 
-func (s *Session) execSearchType(q *wtl.SearchType) (*Response, error) {
+func (s *Session) execSearchType(ctx context.Context, q *wtl.SearchType) (*Response, error) {
 	client := s.current()
 	coalitions, err := client.Coalitions()
 	if err != nil {
@@ -594,7 +627,7 @@ func (s *Session) execSearchType(q *wtl.SearchType) (*Response, error) {
 	var hits []*codb.SourceDescriptor
 	seen := map[string]bool{}
 	for _, c := range coalitions {
-		members, err := client.Instances(c)
+		members, err := client.InstancesCtx(ctx, c)
 		if err != nil {
 			continue
 		}
@@ -628,17 +661,17 @@ func (s *Session) execSearchType(q *wtl.SearchType) (*Response, error) {
 
 // lookupSource finds a descriptor in the current context, falling back to
 // the local co-database.
-func (s *Session) lookupSource(name string) (*codb.SourceDescriptor, error) {
+func (s *Session) lookupSource(ctx context.Context, name string) (*codb.SourceDescriptor, error) {
 	if name == "" {
 		name = s.Source
 	}
 	if name == "" {
 		return nil, fmt.Errorf("query: no source selected; name one with On or Display Access Information first")
 	}
-	if d, err := s.current().AccessInfo(name); err == nil {
+	if d, err := s.current().AccessInfoCtx(ctx, name); err == nil {
 		return d, nil
 	}
-	d, err := s.p.cfg.Local.AccessInfo(name)
+	d, err := s.p.cfg.Local.AccessInfoCtx(ctx, name)
 	if err != nil {
 		return nil, fmt.Errorf("query: source %s not found in current context: %w", name, err)
 	}
@@ -663,11 +696,11 @@ func (p *Processor) openSource(s *Session, d *codb.SourceDescriptor) (gateway.Co
 	return nil, fmt.Errorf("query: source %s advertises no access path", d.Name)
 }
 
-func (s *Session) execFuncQuery(q *wtl.FuncQuery) (*Response, error) {
+func (s *Session) execFuncQuery(ctx context.Context, q *wtl.FuncQuery) (*Response, error) {
 	if q.OnCoalition {
-		return s.execCoalitionFuncQuery(q)
+		return s.execCoalitionFuncQuery(ctx, q)
 	}
-	d, err := s.lookupSource(q.Source)
+	d, err := s.lookupSource(ctx, q.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -693,7 +726,7 @@ func (s *Session) execFuncQuery(q *wtl.FuncQuery) (*Response, error) {
 	}
 	defer conn.Close()
 	s.tracef("data", "executing on %s (%s): %s", d.Name, d.Engine, native)
-	res, err := conn.Query(native)
+	res, err := gateway.QueryContext(ctx, conn, native)
 	if err != nil {
 		return nil, fmt.Errorf("query: %s: %w", d.Name, err)
 	}
@@ -709,12 +742,12 @@ func (s *Session) execFuncQuery(q *wtl.FuncQuery) (*Response, error) {
 // sub-queries execute in parallel through a bounded worker pool; rows are
 // merged back in member order, so the merged result is deterministic and
 // end-to-end latency tracks the slowest member rather than the member count.
-func (s *Session) execCoalitionFuncQuery(q *wtl.FuncQuery) (*Response, error) {
-	entry, err := s.p.coalitionEntry(s, q.Source)
+func (s *Session) execCoalitionFuncQuery(ctx context.Context, q *wtl.FuncQuery) (*Response, error) {
+	entry, err := s.p.coalitionEntry(ctx, s, q.Source)
 	if err != nil {
 		return nil, err
 	}
-	members, err := entry.Instances(q.Source)
+	members, err := entry.InstancesCtx(ctx, q.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -749,12 +782,17 @@ func (s *Session) execCoalitionFuncQuery(q *wtl.FuncQuery) (*Response, error) {
 	errs := make([]error, len(parts))
 	fanOut(len(parts), s.p.cfg.FanOut, func(i int) {
 		pt := parts[i]
+		// One span per coalition member, so the fan-out's critical path —
+		// the slowest member — is visible in the trace.
+		mctx, msp := trace.StartSpan(ctx, "query.member:"+pt.d.Name)
+		msp.SetAttr("engine", pt.d.Engine)
+		defer func() { msp.End(errs[i]) }()
 		conn, err := s.p.openSource(s, pt.d)
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		res, err := conn.Query(pt.native)
+		res, err := gateway.QueryContext(mctx, conn, pt.native)
 		conn.Close()
 		if err != nil {
 			errs[i] = fmt.Errorf("query: %s: %w", pt.d.Name, err)
@@ -787,8 +825,8 @@ func (s *Session) execCoalitionFuncQuery(q *wtl.FuncQuery) (*Response, error) {
 	}, nil
 }
 
-func (s *Session) execNativeQuery(q *wtl.NativeQuery) (*Response, error) {
-	d, err := s.lookupSource(q.Source)
+func (s *Session) execNativeQuery(ctx context.Context, q *wtl.NativeQuery) (*Response, error) {
+	d, err := s.lookupSource(ctx, q.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -798,7 +836,7 @@ func (s *Session) execNativeQuery(q *wtl.NativeQuery) (*Response, error) {
 	}
 	defer conn.Close()
 	s.tracef("data", "executing on %s (%s): %s", d.Name, d.Engine, q.Text)
-	res, err := conn.Query(q.Text)
+	res, err := gateway.QueryContext(ctx, conn, q.Text)
 	if err != nil {
 		return nil, fmt.Errorf("query: %s: %w", d.Name, err)
 	}
@@ -848,8 +886,8 @@ func (s *Session) execCreateLink(q *wtl.CreateLink) (*Response, error) {
 // memberCoDBs opens the co-database clients of a coalition's members as
 // known to the entry client, deduplicated by reference. The clients are
 // resolved through a bounded worker pool and returned in member order.
-func (p *Processor) memberCoDBs(entry *codb.Client, coalition string) ([]*codb.Client, error) {
-	members, err := entry.Instances(coalition)
+func (p *Processor) memberCoDBs(ctx context.Context, entry *codb.Client, coalition string) ([]*codb.Client, error) {
+	members, err := entry.InstancesCtx(ctx, coalition)
 	if err != nil {
 		return nil, err
 	}
@@ -882,16 +920,16 @@ func (p *Processor) memberCoDBs(entry *codb.Client, coalition string) ([]*codb.C
 // co-database — the coalition is replicated locally with all its members, so
 // the newcomer is a full participant ("individual sites join and leave these
 // clusters at their own discretion").
-func (s *Session) execJoin(q *wtl.JoinCoalition) (*Response, error) {
+func (s *Session) execJoin(ctx context.Context, q *wtl.JoinCoalition) (*Response, error) {
 	home := s.p.cfg.HomeDescriptor
 	if home == nil {
 		return nil, fmt.Errorf("query: node has no home descriptor to advertise")
 	}
-	entry, err := s.p.coalitionEntry(s, q.Coalition)
+	entry, err := s.p.coalitionEntry(ctx, s, q.Coalition)
 	if err != nil {
 		return nil, err
 	}
-	members, err := entry.Instances(q.Coalition)
+	members, err := entry.InstancesCtx(ctx, q.Coalition)
 	if err != nil {
 		return nil, err
 	}
@@ -900,7 +938,7 @@ func (s *Session) execJoin(q *wtl.JoinCoalition) (*Response, error) {
 			return nil, fmt.Errorf("query: %s is already a member of %s", s.p.cfg.Home, q.Coalition)
 		}
 	}
-	peers, err := s.p.memberCoDBs(entry, q.Coalition)
+	peers, err := s.p.memberCoDBs(ctx, entry, q.Coalition)
 	if err != nil {
 		return nil, err
 	}
@@ -913,7 +951,7 @@ func (s *Session) execJoin(q *wtl.JoinCoalition) (*Response, error) {
 	advErrs := make([]error, len(peers))
 	fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
 		s.tracef("communication", "advertising %s into a member co-database", s.p.cfg.Home)
-		advErrs[i] = peers[i].Advertise(q.Coalition, home)
+		advErrs[i] = peers[i].AdvertiseCtx(ctx, q.Coalition, home)
 	})
 	var joinErr error
 	for _, err := range advErrs {
@@ -925,7 +963,7 @@ func (s *Session) execJoin(q *wtl.JoinCoalition) (*Response, error) {
 	if joinErr != nil {
 		fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
 			if advErrs[i] == nil {
-				peers[i].RemoveMember(q.Coalition, s.p.cfg.Home)
+				peers[i].RemoveMemberCtx(ctx, q.Coalition, s.p.cfg.Home)
 			}
 		})
 		return nil, joinErr
@@ -953,18 +991,18 @@ func (s *Session) execJoin(q *wtl.JoinCoalition) (*Response, error) {
 
 // execLeave withdraws the home database from a coalition everywhere it is
 // known: every member's co-database, and the local copy.
-func (s *Session) execLeave(q *wtl.LeaveCoalition) (*Response, error) {
-	entry, err := s.p.coalitionEntry(s, q.Coalition)
+func (s *Session) execLeave(ctx context.Context, q *wtl.LeaveCoalition) (*Response, error) {
+	entry, err := s.p.coalitionEntry(ctx, s, q.Coalition)
 	if err != nil {
 		return nil, err
 	}
-	peers, err := s.p.memberCoDBs(entry, q.Coalition)
+	peers, err := s.p.memberCoDBs(ctx, entry, q.Coalition)
 	if err != nil {
 		return nil, err
 	}
 	removedAt := make([]bool, len(peers))
 	fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
-		if err := peers[i].RemoveMember(q.Coalition, s.p.cfg.Home); err == nil {
+		if err := peers[i].RemoveMemberCtx(ctx, q.Coalition, s.p.cfg.Home); err == nil {
 			removedAt[i] = true
 		}
 	})

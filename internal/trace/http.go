@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Handler serves the tracer's debug endpoints:
+//
+//	/debug/metrics     per-operation counters + latency histograms, published
+//	                   vars, and the slow-call threshold (expvar-style JSON)
+//	/debug/trace       recent spans; ?trace=<hex id> filters to one trace,
+//	                   ?n=<count> keeps only the newest n spans
+//	/debug/trace/slow  the slow-call log
+func (t *Tracer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", t.serveMetrics)
+	mux.HandleFunc("/debug/trace", t.serveTrace)
+	mux.HandleFunc("/debug/trace/slow", t.serveSlow)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (t *Tracer) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	doc := struct {
+		Ops           []OpSnapshot   `json:"ops"`
+		Vars          map[string]any `json:"vars,omitempty"`
+		SlowThreshold string         `json:"slow_threshold"`
+	}{
+		Ops:           t.Metrics(),
+		SlowThreshold: t.SlowThreshold().String(),
+	}
+	t.vars.Range(func(k, v any) bool {
+		if doc.Vars == nil {
+			doc.Vars = make(map[string]any)
+		}
+		doc.Vars[k.(string)] = v.(func() any)()
+		return true
+	})
+	writeJSON(w, doc)
+}
+
+func (t *Tracer) serveTrace(w http.ResponseWriter, r *http.Request) {
+	var spans []SpanRecord
+	if id := r.URL.Query().Get("trace"); id != "" {
+		spans = t.TraceSpans(id)
+	} else {
+		spans = t.Spans()
+	}
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(spans) {
+			spans = spans[len(spans)-n:]
+		}
+	}
+	writeSpans(w, spans)
+}
+
+func (t *Tracer) serveSlow(w http.ResponseWriter, r *http.Request) {
+	writeSpans(w, t.SlowCalls())
+}
+
+// spanJSON renders one span with a human-readable duration next to the
+// nanosecond count.
+type spanJSON struct {
+	SpanRecord
+	DurationText string `json:"duration"`
+}
+
+func writeSpans(w http.ResponseWriter, spans []SpanRecord) {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	out := make([]spanJSON, len(spans))
+	for i, s := range spans {
+		out[i] = spanJSON{SpanRecord: s, DurationText: s.Duration.String()}
+	}
+	writeJSON(w, struct {
+		Spans []spanJSON `json:"spans"`
+	}{out})
+}

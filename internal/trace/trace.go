@@ -1,0 +1,253 @@
+// Package trace is the reproduction's observability layer, modeled on CORBA
+// Portable Interceptors and their service-context propagation: a span records
+// one timed operation, spans share a trace ID across process, ORB and servant
+// boundaries (the ORB's request interceptors carry the span context in a
+// dedicated GIOP service context entry), and a Tracer aggregates finished
+// spans into a ring buffer, per-operation latency histograms and a slow-call
+// log. The paper's communication layer "mediates requests" between four
+// layers; this package makes that mediation visible end to end.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	mrand "math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end request tree across every ORB hop.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as lower-case hex.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as lower-case hex.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		putUint64(id[0:8], mrand.Uint64())
+		putUint64(id[8:16], mrand.Uint64())
+	}
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		putUint64(id[:], mrand.Uint64())
+	}
+	return id
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// SpanContext is the propagated part of a span: enough to parent remote
+// children onto the same trace. It is what crosses the wire inside the
+// tracing service context entry.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// IsValid reports whether the context names a real trace.
+func (sc SpanContext) IsValid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// encodedLen is the wire size of a span context (16-byte trace + 8-byte span).
+const encodedLen = 24
+
+// Encode packs the context for a giop.ServiceContext entry.
+func (sc SpanContext) Encode() []byte {
+	out := make([]byte, encodedLen)
+	copy(out[0:16], sc.Trace[:])
+	copy(out[16:24], sc.Span[:])
+	return out
+}
+
+// DecodeSpanContext unpacks a context encoded by Encode. It rejects payloads
+// of the wrong size or with a zero trace ID, so a foreign ORB's unrelated
+// service context entry cannot corrupt a trace.
+func DecodeSpanContext(b []byte) (SpanContext, bool) {
+	if len(b) != encodedLen {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	copy(sc.Trace[:], b[0:16])
+	copy(sc.Span[:], b[16:24])
+	if !sc.IsValid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one in-progress timed operation. A span belongs to the goroutine
+// that started it: SetAttr and End must not race with each other. End is
+// idempotent and publishes the finished record to the span's tracer.
+type Span struct {
+	tracer *Tracer
+	name   string
+	sc     SpanContext
+	parent SpanID
+	start  time.Time
+	attrs  []Attr
+	ended  atomic.Bool
+}
+
+// Context returns the span's propagation context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// Name returns the operation name the span was started with.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr annotates the span. It is a no-op on a nil or ended span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span, recording its duration (and err, if any) into the
+// tracer's ring buffer, metrics and slow-call log. Only the first End counts.
+func (s *Span) End(err error) {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	rec := SpanRecord{
+		Trace:    s.sc.Trace.String(),
+		Span:     s.sc.Span.String(),
+		Name:     s.name,
+		Attrs:    s.attrs,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+	}
+	if !s.parent.IsZero() {
+		rec.Parent = s.parent.String()
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.tracer.record(rec)
+}
+
+// SpanRecord is one finished span as kept by the recorder and served by the
+// /debug/trace endpoint. IDs are hex strings so records marshal cleanly.
+type SpanRecord struct {
+	Trace    string        `json:"trace"`
+	Span     string        `json:"span"`
+	Parent   string        `json:"parent,omitempty"`
+	Name     string        `json:"name"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// ---- Context plumbing ----
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	remoteKey
+)
+
+// ContextWithSpan returns a context carrying the span as the active parent.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// ContextWithRemote returns a context carrying a span context received from a
+// remote caller (decoded from the tracing service context by the server-side
+// request interceptor). Spans started under it join the remote trace.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, remoteKey, sc)
+}
+
+// RemoteFromContext returns the remote span context, if any.
+func RemoteFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(remoteKey).(SpanContext)
+	return sc, ok && sc.IsValid()
+}
+
+// SpanContextOf returns the propagation context an outgoing request should
+// carry: the active local span if one exists, else the remote parent.
+func SpanContextOf(ctx context.Context) (SpanContext, bool) {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.sc, true
+	}
+	return RemoteFromContext(ctx)
+}
+
+// StartSpan starts a span named after an operation. The parent is the active
+// span in ctx (same trace, same tracer); failing that, a remote span context
+// placed by a server interceptor (same trace, default tracer); failing that,
+// a fresh trace on the default tracer. The returned context carries the new
+// span as the active parent for further calls.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return startSpan(ctx, nil, name)
+}
+
+// StartSpan starts a span recorded by this tracer regardless of which tracer
+// owns the parent; parenting and trace-ID inheritance follow StartSpan.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return startSpan(ctx, t, name)
+}
+
+func startSpan(ctx context.Context, t *Tracer, name string) (context.Context, *Span) {
+	var parent SpanContext
+	if sp := SpanFromContext(ctx); sp != nil {
+		parent = sp.sc
+		if t == nil {
+			t = sp.tracer
+		}
+	} else if rc, ok := RemoteFromContext(ctx); ok {
+		parent = rc
+	}
+	if t == nil {
+		t = Default()
+	}
+	sc := SpanContext{Trace: parent.Trace, Span: newSpanID()}
+	if sc.Trace.IsZero() {
+		sc.Trace = newTraceID()
+	}
+	sp := &Span{tracer: t, name: name, sc: sc, parent: parent.Span, start: time.Now()}
+	return ContextWithSpan(ctx, sp), sp
+}

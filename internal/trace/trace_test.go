@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentingAndRecording(t *testing.T) {
+	tr := New(Options{})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	if root.Context().Trace.IsZero() || root.Context().Span.IsZero() {
+		t.Fatal("root span has zero IDs")
+	}
+	ctx2, child := StartSpan(ctx, "child") // package fn inherits tracer via ctx
+	if child.Context().Trace != root.Context().Trace {
+		t.Errorf("child trace %s != root trace %s", child.Context().Trace, root.Context().Trace)
+	}
+	_, grand := StartSpan(ctx2, "grandchild")
+	grand.SetAttr("k", "v")
+	grand.End(errors.New("boom"))
+	child.End(nil)
+	root.End(nil)
+
+	spans := tr.TraceSpans(root.Context().Trace.String())
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].Parent != root.Context().Span.String() {
+		t.Errorf("child parent = %s, want %s", byName["child"].Parent, root.Context().Span)
+	}
+	if byName["grandchild"].Parent != byName["child"].Span {
+		t.Errorf("grandchild parent = %s, want %s", byName["grandchild"].Parent, byName["child"].Span)
+	}
+	if byName["grandchild"].Err != "boom" {
+		t.Errorf("grandchild err = %q", byName["grandchild"].Err)
+	}
+	if len(byName["grandchild"].Attrs) != 1 || byName["grandchild"].Attrs[0].Value != "v" {
+		t.Errorf("grandchild attrs = %v", byName["grandchild"].Attrs)
+	}
+}
+
+func TestRemoteParenting(t *testing.T) {
+	tr := New(Options{})
+	_, client := tr.StartSpan(context.Background(), "client")
+	defer client.End(nil)
+
+	// Simulate the wire: encode on the caller, decode on the servant side.
+	sc, ok := DecodeSpanContext(client.Context().Encode())
+	if !ok {
+		t.Fatal("round-trip decode failed")
+	}
+	if sc != client.Context() {
+		t.Fatalf("decoded %+v != original %+v", sc, client.Context())
+	}
+	ctx := ContextWithRemote(context.Background(), sc)
+	_, server := tr.StartSpan(ctx, "server")
+	server.End(nil)
+	if got := server.Context().Trace; got != client.Context().Trace {
+		t.Errorf("server trace %s, want client's %s", got, client.Context().Trace)
+	}
+	recs := tr.TraceSpans(client.Context().Trace.String())
+	if len(recs) != 1 || recs[0].Parent != client.Context().Span.String() {
+		t.Errorf("server record parent = %v", recs)
+	}
+}
+
+func TestDecodeSpanContextRejectsGarbage(t *testing.T) {
+	if _, ok := DecodeSpanContext(nil); ok {
+		t.Error("decoded nil")
+	}
+	if _, ok := DecodeSpanContext(make([]byte, 23)); ok {
+		t.Error("decoded short payload")
+	}
+	if _, ok := DecodeSpanContext(make([]byte, 24)); ok {
+		t.Error("decoded all-zero payload")
+	}
+}
+
+func TestEndIdempotentAndNilSafe(t *testing.T) {
+	tr := New(Options{})
+	_, sp := tr.StartSpan(context.Background(), "once")
+	sp.End(nil)
+	sp.End(errors.New("second End must not record"))
+	if got := len(tr.Spans()); got != 1 {
+		t.Errorf("recorded %d spans, want 1", got)
+	}
+	var nilSpan *Span
+	nilSpan.SetAttr("a", "b") // must not panic
+	nilSpan.End(nil)
+	if nilSpan.Context().IsValid() {
+		t.Error("nil span has a valid context")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	for i := 0; i < 7; i++ {
+		_, sp := tr.StartSpan(context.Background(), fmt.Sprintf("op-%d", i))
+		sp.End(nil)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(spans))
+	}
+	if spans[0].Name != "op-3" || spans[3].Name != "op-6" {
+		t.Errorf("ring order = %s..%s, want op-3..op-6", spans[0].Name, spans[3].Name)
+	}
+}
+
+func TestMetricsHistogramAndErrors(t *testing.T) {
+	tr := New(Options{})
+	for i := 0; i < 5; i++ {
+		_, sp := tr.StartSpan(context.Background(), "op")
+		var err error
+		if i == 0 {
+			err = errors.New("fail")
+		}
+		sp.End(err)
+	}
+	ms := tr.Metrics()
+	if len(ms) != 1 {
+		t.Fatalf("metrics = %v", ms)
+	}
+	m := ms[0]
+	if m.Op != "op" || m.Count != 5 || m.Errors != 1 {
+		t.Errorf("op=%s count=%d errors=%d", m.Op, m.Count, m.Errors)
+	}
+	var total int64
+	for _, b := range m.Histogram {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Errorf("histogram total = %d, want 5", total)
+	}
+	if m.MaxNS < m.MeanNS {
+		t.Errorf("max %d < mean %d", m.MaxNS, m.MeanNS)
+	}
+}
+
+func TestSlowCallLog(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	tr := New(Options{
+		SlowThreshold: time.Microsecond,
+		SlowLog: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	_, fast := tr.StartSpan(context.Background(), "fast")
+	fast.End(nil) // sub-µs on any machine this runs on? not guaranteed — use threshold below
+	tr.SetSlowThreshold(time.Nanosecond)
+	_, slow := tr.StartSpan(context.Background(), "slow")
+	time.Sleep(time.Millisecond)
+	slow.End(nil)
+	found := false
+	for _, s := range tr.SlowCalls() {
+		if s.Name == "slow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("slow span missing from slow-call ring")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Error("slow-call log sink got no lines")
+	}
+	tr.SetSlowThreshold(0)
+	_, off := tr.StartSpan(context.Background(), "off")
+	time.Sleep(time.Millisecond)
+	off.End(nil)
+	for _, s := range tr.SlowCalls() {
+		if s.Name == "off" {
+			t.Error("slow log recorded with threshold disabled")
+		}
+	}
+}
+
+func TestConcurrentSpansRaceClean(t *testing.T) {
+	tr := New(Options{Capacity: 128})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, sp := tr.StartSpan(context.Background(), "root")
+				_, child := StartSpan(ctx, "child")
+				child.SetAttr("g", fmt.Sprint(g))
+				child.End(nil)
+				sp.End(nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	ms := tr.Metrics()
+	var count int64
+	for _, m := range ms {
+		count += m.Count
+	}
+	if count != 8*50*2 {
+		t.Errorf("recorded %d spans, want %d", count, 8*50*2)
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	tr := New(Options{SlowThreshold: time.Nanosecond})
+	tr.Publish("answer", func() any { return 42 })
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	_, child := StartSpan(ctx, "child")
+	time.Sleep(100 * time.Microsecond)
+	child.End(nil)
+	root.End(nil)
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("%s content-type = %s", path, ct)
+		}
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return doc
+	}
+
+	metrics := get("/debug/metrics")
+	if ops, ok := metrics["ops"].([]any); !ok || len(ops) != 2 {
+		t.Errorf("metrics ops = %v", metrics["ops"])
+	}
+	vars, _ := metrics["vars"].(map[string]any)
+	if vars["answer"] != float64(42) {
+		t.Errorf("published var = %v", vars["answer"])
+	}
+
+	all := get("/debug/trace")
+	if spans, ok := all["spans"].([]any); !ok || len(spans) != 2 {
+		t.Errorf("trace spans = %v", all["spans"])
+	}
+	one := get("/debug/trace?trace=" + root.Context().Trace.String() + "&n=1")
+	if spans, _ := one["spans"].([]any); len(spans) != 1 {
+		t.Errorf("filtered spans = %v", one["spans"])
+	}
+	none := get("/debug/trace?trace=deadbeef")
+	if spans, _ := none["spans"].([]any); len(spans) != 0 {
+		t.Errorf("bogus trace returned spans: %v", none["spans"])
+	}
+	slow := get("/debug/trace/slow")
+	if spans, _ := slow["spans"].([]any); len(spans) != 2 {
+		t.Errorf("slow spans = %v", slow["spans"])
+	}
+}
