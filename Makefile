@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify race bench test build vet ci fmt-check cover bench-smoke
+.PHONY: verify race bench test build vet ci fmt-check cover bench-smoke chaos
 
 # verify is the tier-1 gate: build + vet + full test suite.
 verify:
@@ -13,8 +13,15 @@ verify:
 	$(GO) test ./...
 
 # ci mirrors .github/workflows/ci.yml: formatting gate, tier-1 verify,
-# race detector, coverage profile, and a one-iteration benchmark smoke.
-ci: fmt-check verify race cover bench-smoke
+# race detector, chaos suite, coverage profile, and a one-iteration
+# benchmark smoke.
+ci: fmt-check verify race chaos cover bench-smoke
+
+# chaos runs the fault-injection suites (injected connect failures, latency,
+# drops and resets; retry/breaker behaviour; partial-result degradation)
+# under the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/orb ./internal/query
 
 # fmt-check fails if any file needs gofmt (CI's formatting gate).
 fmt-check:

@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -298,7 +299,7 @@ func BenchmarkMetaQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Execute("Find Coalitions With Information Medical Research;"); err != nil {
+		if _, err := s.Execute(context.Background(), "Find Coalitions With Information Medical Research;"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -311,7 +312,7 @@ func BenchmarkDataQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Execute(`Query Royal Brisbane Hospital Using Native "select * from medical_students";`); err != nil {
+		if _, err := s.Execute(context.Background(), `Query Royal Brisbane Hospital Using Native "select * from medical_students";`); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -330,7 +331,7 @@ func BenchmarkDataQueryIIOP(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := conn.Query("select * from medical_students"); err != nil {
+		if _, err := conn.Query(context.Background(), "select * from medical_students"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -347,17 +348,19 @@ type slowConn struct {
 	delay time.Duration
 }
 
-func (c *slowConn) Query(q string) (*gateway.Result, error) {
+func (c *slowConn) Query(_ context.Context, q string) (*gateway.Result, error) {
 	time.Sleep(c.delay)
 	return &gateway.Result{
 		Columns: []string{"v"},
 		Rows:    [][]idl.Any{{idl.String(c.name)}},
 	}, nil
 }
-func (c *slowConn) Exec(q string) (*gateway.Result, error) { return c.Query(q) }
-func (c *slowConn) Begin() error                           { return nil }
-func (c *slowConn) Commit() error                          { return nil }
-func (c *slowConn) Rollback() error                        { return nil }
+func (c *slowConn) Exec(ctx context.Context, q string) (*gateway.Result, error) {
+	return c.Query(ctx, q)
+}
+func (c *slowConn) Begin() error    { return nil }
+func (c *slowConn) Commit() error   { return nil }
+func (c *slowConn) Rollback() error { return nil }
 func (c *slowConn) Meta() gateway.SourceMeta {
 	return gateway.SourceMeta{Engine: core.EngineMSQL, Database: c.name, Model: "relational"}
 }
@@ -430,7 +433,7 @@ func BenchmarkCoalitionFanOut(b *testing.B) {
 		s := qut.NewSession()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := s.Execute(medQ); err != nil {
+			if _, err := s.Execute(context.Background(), medQ); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -447,7 +450,7 @@ func BenchmarkCoalitionFanOut(b *testing.B) {
 		s := p.NewSession()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			resp, err := s.Execute(slowQ)
+			resp, err := s.Execute(context.Background(), slowQ)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -458,6 +461,99 @@ func BenchmarkCoalitionFanOut(b *testing.B) {
 	}
 	b.Run("slowfed/serial", func(b *testing.B) { runSlow(b, 1) })
 	b.Run("slowfed/parallel", func(b *testing.B) { runSlow(b, 0) })
+}
+
+// buildFaultFed wires a coalition of n members, each ISI on its own ORB so
+// fault rules can target individual member addresses. The returned client
+// ORB (home side) has colocation disabled so every member call crosses the
+// injectable transport.
+func buildFaultFed(b *testing.B, n int, delay time.Duration) (*query.Processor, *orb.ORB, []string) {
+	b.Helper()
+	client := orb.New(orb.Options{Product: orb.Orbix, DisableColocation: true})
+	if err := client.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(client.Shutdown)
+	home := codb.New("fault-home")
+	if err := home.DefineCoalition("FaultTopic", "", "synthetic faulty members"); err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		mo := orb.New(orb.Options{Product: orb.Orbix})
+		if err := mo.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(mo.Shutdown)
+		name := fmt.Sprintf("fault-%02d", i)
+		ior, err := mo.Activate("ISI/"+name, gateway.NewISIServant(&slowConn{name: name, delay: delay}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := &codb.SourceDescriptor{
+			Name:   name,
+			Engine: core.EngineMSQL,
+			ISIRef: orb.Stringify(ior),
+			Interface: []codb.ExportedType{{
+				Name: "Records",
+				Functions: []codb.ExportedFunction{{
+					Name: "Fetch", Returns: "string", Table: "t", ResultColumn: "v",
+				}},
+			}},
+		}
+		if err := home.AddMember("FaultTopic", d); err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = mo.Addr()
+	}
+	codbIOR, err := client.Activate("CoDatabase/fault-home", codb.NewServant(home))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := query.New(query.Config{
+		ORB:       client,
+		Home:      "fault-home",
+		Local:     codb.NewClient(client.Resolve(codbIOR)),
+		LocalCoDB: home,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, client, addrs
+}
+
+// BenchmarkCoalitionFanOutFaults measures coalition query decomposition
+// when some members are unreachable: 8 members with 1ms service time, of
+// which 0, 1 or 3 fail at connect. Degradation collects the survivors'
+// rows, so throughput should stay close to the healthy case instead of
+// collapsing (the dead members fail fast at the injected dial).
+func BenchmarkCoalitionFanOutFaults(b *testing.B) {
+	const members = 8
+	const delay = time.Millisecond
+	const q = `Fetch(Records.V) On Coalition FaultTopic;`
+	for _, dead := range []int{0, 1, 3} {
+		b.Run(fmt.Sprintf("dead=%d", dead), func(b *testing.B) {
+			p, client, addrs := buildFaultFed(b, members, delay)
+			if dead > 0 {
+				rules := make([]orb.FaultRule, dead)
+				for i := 0; i < dead; i++ {
+					rules[i] = orb.FaultRule{Addr: addrs[i], FailConnect: 1}
+				}
+				client.SetFaultPlan(&orb.FaultPlan{Rules: rules})
+			}
+			s := p.NewSession()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := s.Execute(context.Background(), q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(resp.Result.Rows) != members-dead {
+					b.Fatalf("rows = %d, want %d", len(resp.Result.Rows), members-dead)
+				}
+			}
+		})
+	}
 }
 
 // ---- B1: resolution latency vs federation size, two-level vs flat ----
@@ -508,7 +604,7 @@ func benchResolution(b *testing.B, n int, flat bool) {
 	s := home.NewSession()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Execute("Find Coalitions With Information topic-0 records;"); err != nil {
+		if _, err := s.Execute(context.Background(), "Find Coalitions With Information topic-0 records;"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -150,14 +151,14 @@ func fig3() error {
 	}
 	qut, _ := w.Node(medworld.QUT)
 	s := qut.NewSession()
-	if _, err := s.Execute("Find Coalitions With Information Medical Research;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Find Coalitions With Information Medical Research;"); err != nil {
 		return err
 	}
-	if _, err := s.Execute(`Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs")) On Royal Brisbane Hospital;`); err != nil {
+	if _, err := s.Execute(context.Background(), `Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs")) On Royal Brisbane Hospital;`); err != nil {
 		return err
 	}
 	for _, line := range s.Trace() {
-		fmt.Println("  " + line)
+		fmt.Println("  " + line.String())
 	}
 	return nil
 }
@@ -173,7 +174,7 @@ func fig4() error {
 		"Display Instances of Class Research;",
 		"Display Document of Instance Royal Brisbane Hospital Of Class Research;",
 	} {
-		resp, err := s.Execute(stmt)
+		resp, err := s.Execute(context.Background(), stmt)
 		if err != nil {
 			return err
 		}
@@ -203,7 +204,7 @@ func fig6() error {
 	}
 	qut, _ := w.Node(medworld.QUT)
 	s := qut.NewSession()
-	resp, err := s.Execute(`Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
+	resp, err := s.Execute(context.Background(), `Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
 	if err != nil {
 		return err
 	}
@@ -227,7 +228,7 @@ func q1() error {
 		"Display Access Information of Instance Royal Brisbane Hospital;",
 		`Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs"));`,
 	} {
-		resp, err := s.Execute(stmt)
+		resp, err := s.Execute(context.Background(), stmt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", stmt, err)
 		}
@@ -248,7 +249,7 @@ func q2() error {
 		"Connect To Coalition Medical Insurance;",
 		"Display Instances of Class Medical Insurance;",
 	} {
-		resp, err := s.Execute(stmt)
+		resp, err := s.Execute(context.Background(), stmt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", stmt, err)
 		}
@@ -327,7 +328,7 @@ func b1() error {
 			}
 			s := home.NewSession()
 			d, err := measure(50, func() error {
-				_, err := s.Execute("Find Coalitions With Information topic-0 records;")
+				_, err := s.Execute(context.Background(), "Find Coalitions With Information topic-0 records;")
 				return err
 			})
 			f.Shutdown()
@@ -480,14 +481,14 @@ func b5() error {
 	rbh, _ := w.Node(medworld.RBH)
 	s := qut.NewSession()
 	meta, err := measure(500, func() error {
-		_, err := s.Execute("Find Coalitions With Information Medical Research;")
+		_, err := s.Execute(context.Background(), "Find Coalitions With Information Medical Research;")
 		return err
 	})
 	if err != nil {
 		return err
 	}
 	full, err := measure(500, func() error {
-		_, err := s.Execute(`Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
+		_, err := s.Execute(context.Background(), `Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
 		return err
 	})
 	if err != nil {
@@ -501,7 +502,7 @@ func b5() error {
 	}
 	coloConn := gateway.NewRemoteConn(coloRef)
 	colocated, err := measure(2000, func() error {
-		_, err := coloConn.Query("select * from medical_students")
+		_, err := coloConn.Query(context.Background(), "select * from medical_students")
 		return err
 	})
 	if err != nil {
@@ -515,7 +516,7 @@ func b5() error {
 	}
 	conn := gateway.NewRemoteConn(ref)
 	remote, err := measure(2000, func() error {
-		_, err := conn.Query("select * from medical_students")
+		_, err := conn.Query(context.Background(), "select * from medical_students")
 		return err
 	})
 	if err != nil {

@@ -22,8 +22,20 @@
 //	  "schema": "CREATE TABLE t (a INT);", // inline SQL, or:
 //	  "schema_file": "schema.sql",
 //	  "slow_call_ms": 50,                  // slow-call log threshold (0 = off)
+//	  "call_timeout_ms": 2000,             // per-invocation IIOP deadline (0 = none)
+//	  "retry_attempts": 3,                 // attempts for idempotent calls (0/1 = no retry)
+//	  "breaker_threshold": 5,              // consecutive failures to open an endpoint breaker (0 = off)
+//	  "breaker_cooldown_ms": 1000,         // open-state cooldown before the half-open probe
+//	  "min_members": 1,                    // coalition-query quorum (0 = 1)
+//	  "member_timeout_ms": 500,            // per-member fan-out deadline (0 = none)
+//	  "chaos": { "seed": 1, "rules": [...] }, // optional fault-injection plan
 //	  "interface": [ { "name": "T", "functions": [ ... ] } ]
 //	}
+//
+// The -chaos flag loads a fault-injection plan (same JSON shape as the
+// "chaos" config field) and applies it to the node's outbound IIOP calls,
+// overriding the config field. Breaker states are published at
+// /debug/metrics alongside the ORB counters.
 package main
 
 import (
@@ -61,8 +73,16 @@ type nodeFile struct {
 	// SlowCallMS sets the tracer's slow-call threshold in milliseconds:
 	// spans at least this slow are kept in the slow-call ring
 	// (/debug/trace/slow) and logged. 0 disables the slow-call log.
-	SlowCallMS int                 `json:"slow_call_ms"`
-	Interface  []codb.ExportedType `json:"interface"`
+	SlowCallMS int `json:"slow_call_ms"`
+	// Fault-tolerance policy for outbound IIOP calls and coalition fan-out.
+	CallTimeoutMS     int                 `json:"call_timeout_ms"`
+	RetryAttempts     int                 `json:"retry_attempts"`
+	BreakerThreshold  int                 `json:"breaker_threshold"`
+	BreakerCooldownMS int                 `json:"breaker_cooldown_ms"`
+	MinMembers        int                 `json:"min_members"`
+	MemberTimeoutMS   int                 `json:"member_timeout_ms"`
+	Chaos             *orb.FaultPlan      `json:"chaos"`
+	Interface         []codb.ExportedType `json:"interface"`
 	// InterfaceWTL declares the exported interface in the paper's WebTassili
 	// syntax (Type X { attribute ...; function ...; }) instead of JSON.
 	InterfaceWTL string `json:"interface_wtl"`
@@ -73,6 +93,7 @@ func main() {
 	log.SetPrefix("webfindit-node: ")
 	configPath := flag.String("config", "", "path to the node's JSON config")
 	serveNaming := flag.Bool("serve-naming", false, "also host a naming service on this node's ORB")
+	chaosPath := flag.String("chaos", "", "path to a JSON fault-injection plan applied to outbound IIOP calls")
 	flag.Parse()
 	if *configPath == "" {
 		log.Fatal("the -config flag is required")
@@ -98,9 +119,34 @@ func main() {
 	})
 	tracer.Publish("node", func() any { return cfg.Name })
 
-	o := orb.New(orb.Options{Product: orb.Product(cfg.ORB)})
+	faults := cfg.Chaos
+	if *chaosPath != "" {
+		body, err := os.ReadFile(*chaosPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var plan orb.FaultPlan
+		if err := json.Unmarshal(body, &plan); err != nil {
+			log.Fatalf("parse %s: %v", *chaosPath, err)
+		}
+		faults = &plan
+	}
+	o := orb.New(orb.Options{
+		Product:     orb.Product(cfg.ORB),
+		CallTimeout: time.Duration(cfg.CallTimeoutMS) * time.Millisecond,
+		Retry:       orb.RetryPolicy{MaxAttempts: cfg.RetryAttempts},
+		Breaker: orb.BreakerPolicy{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  time.Duration(cfg.BreakerCooldownMS) * time.Millisecond,
+		},
+		Faults: faults,
+	})
 	o.EnableTracing(tracer)
 	tracer.Publish("orb", func() any { return o.Stats.Snapshot() })
+	tracer.Publish("breakers", func() any { return o.BreakerSnapshot() })
+	if faults != nil {
+		log.Printf("chaos: fault-injection plan active (%d rule(s))", len(faults.Rules))
+	}
 	if err := o.Listen(cfg.Listen); err != nil {
 		log.Fatal(err)
 	}
@@ -143,6 +189,10 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if cfg.MinMembers > 0 || cfg.MemberTimeoutMS > 0 {
+		node.Processor.SetMemberPolicy(cfg.MinMembers,
+			time.Duration(cfg.MemberTimeoutMS)*time.Millisecond)
 	}
 	log.Printf("node %q up: engine=%s wrapper=%s", cfg.Name, cfg.Engine, node.Descriptor.Wrapper)
 	fmt.Printf("ISI IOR:        %s\n", node.Descriptor.ISIRef)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -226,7 +227,7 @@ func TestTwoProcessFederation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		owner, err := codb.NewClient(ref).Owner()
+		owner, err := codb.NewClient(ref).Owner(context.Background())
 		if err != nil || owner != name {
 			t.Errorf("owner of %s = %q, %v", name, owner, err)
 		}
@@ -241,7 +242,7 @@ func TestTwoProcessFederation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := gateway.NewRemoteConn(ref).Query("SELECT a FROM t")
+	res, err := gateway.NewRemoteConn(ref).Query(context.Background(), "SELECT a FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestTwoProcessFederation(t *testing.T) {
 		t.Fatal(err)
 	}
 	refB, _ := client.ResolveString(isiB)
-	_, err = gateway.NewRemoteConn(refB).Query("SELECT COUNT(*) FROM p")
+	_, err = gateway.NewRemoteConn(refB).Query(context.Background(), "SELECT COUNT(*) FROM p")
 	if err == nil || !strings.Contains(err.Error(), "mSQL") {
 		t.Errorf("cross-process dialect error = %v", err)
 	}

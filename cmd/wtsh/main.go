@@ -17,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -97,7 +98,7 @@ func main() {
 				continue
 			}
 			fmt.Printf("wtl> %s\n", line)
-			resp, err := session.Execute(line)
+			resp, err := session.Execute(context.Background(), line)
 			if err != nil {
 				log.Fatalf("%s: %v", line, err)
 			}
@@ -123,10 +124,10 @@ func main() {
 			}
 		case line == `\trace`:
 			for _, t := range session.Trace() {
-				fmt.Println("  " + t)
+				fmt.Println("  " + t.String())
 			}
 		default:
-			resp, err := session.Execute(line)
+			resp, err := session.Execute(context.Background(), line)
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {

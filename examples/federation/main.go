@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -81,14 +82,14 @@ func main() {
 		log.Fatal(err)
 	}
 	s := pharmacy.NewSession()
-	resp, err := s.Execute("Find Coalitions With Information diagnostic services;")
+	resp, err := s.Execute(context.Background(), "Find Coalitions With Information diagnostic services;")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nPharmacy discovery:")
 	fmt.Println(resp.Text)
 
-	if _, err := s.Execute("Join Coalition Diagnostics;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Join Coalition Diagnostics;"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nPharmacy joined Diagnostics via WebTassili.")
@@ -101,7 +102,7 @@ func main() {
 
 	// Cross-ORB data access inside the coalition.
 	fmt.Println("\n-- Cross-ORB query inside the coalition --")
-	resp, err = s.Execute(`Query Imaging Centre Using Native "SELECT patient, modality FROM scans";`)
+	resp, err = s.Execute(context.Background(), `Query Imaging Centre Using Native "SELECT patient, modality FROM scans";`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func main() {
 
 	// Leaving at the member's discretion.
 	fmt.Println("-- Departure --")
-	if _, err := s.Execute("Leave Coalition Diagnostics;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Leave Coalition Diagnostics;"); err != nil {
 		log.Fatal(err)
 	}
 	members, _ = lab.CoDB.Members("Diagnostics")

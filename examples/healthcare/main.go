@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 
 	run := func(stmt string) {
 		fmt.Printf("\nwtl> %s\n", stmt)
-		resp, err := session.Execute(stmt)
+		resp, err := session.Execute(context.Background(), stmt)
 		if err != nil {
 			log.Fatalf("%s: %v", stmt, err)
 		}
@@ -60,7 +61,7 @@ func main() {
 	run(`Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs"));`)
 
 	fmt.Println("\n== Figure 5: the RBH documentation page ==")
-	resp, err := session.Execute("Display Documentation of Instance Royal Brisbane Hospital;")
+	resp, err := session.Execute(context.Background(), "Display Documentation of Instance Royal Brisbane Hospital;")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,6 +78,6 @@ func main() {
 
 	fmt.Println("\n== Layer trace of the last statement (Figure 3) ==")
 	for _, line := range session.Trace() {
-		fmt.Println("  " + line)
+		fmt.Println("  " + line.String())
 	}
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,7 +78,7 @@ func main() {
 		`Query City Hospital Using Native "SELECT ward, COUNT(*) AS n FROM admissions GROUP BY ward ORDER BY ward";`,
 	} {
 		fmt.Printf("wtl> %s\n", stmt)
-		resp, err := session.Execute(stmt)
+		resp, err := session.Execute(context.Background(), stmt)
 		if err != nil {
 			log.Fatalf("%s: %v", stmt, err)
 		}

@@ -101,19 +101,30 @@ type resultJSON struct {
 	Rows    [][]string `json:"rows"`
 }
 
+// memberJSON is one fanned-out member's outcome in the /api/query reply.
+type memberJSON struct {
+	Member    string `json:"member"`
+	Attempts  int    `json:"attempts"`
+	LatencyUS int64  `json:"latency_us"`
+	ErrClass  string `json:"err_class,omitempty"`
+	Err       string `json:"err,omitempty"`
+}
+
 // queryResponse is the /api/query reply.
 type queryResponse struct {
-	Text       string      `json:"text"`
-	Leads      []leadJSON  `json:"leads,omitempty"`
-	Names      []string    `json:"names,omitempty"`
-	Sources    []string    `json:"sources,omitempty"`
-	DocURL     string      `json:"doc_url,omitempty"`
-	DocHTML    string      `json:"doc_html,omitempty"`
-	Translated string      `json:"translated,omitempty"`
-	Result     *resultJSON `json:"result,omitempty"`
-	Coalition  string      `json:"coalition,omitempty"`
-	Source     string      `json:"source,omitempty"`
-	Trace      []string    `json:"trace,omitempty"`
+	Text       string       `json:"text"`
+	Leads      []leadJSON   `json:"leads,omitempty"`
+	Names      []string     `json:"names,omitempty"`
+	Sources    []string     `json:"sources,omitempty"`
+	DocURL     string       `json:"doc_url,omitempty"`
+	DocHTML    string       `json:"doc_html,omitempty"`
+	Translated string       `json:"translated,omitempty"`
+	Result     *resultJSON  `json:"result,omitempty"`
+	Coalition  string       `json:"coalition,omitempty"`
+	Source     string       `json:"source,omitempty"`
+	Trace      []string     `json:"trace,omitempty"`
+	Partial    bool         `json:"partial,omitempty"`
+	Members    []memberJSON `json:"members,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -127,7 +138,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(r)
-	resp, err := sess.Execute(req.Statement)
+	resp, err := sess.Execute(r.Context(), req.Statement)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -140,7 +151,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Translated: resp.Translated,
 		Coalition:  sess.Coalition,
 		Source:     sess.Source,
-		Trace:      sess.Trace(),
+		Partial:    resp.Partial,
+	}
+	for _, ev := range sess.Trace() {
+		out.Trace = append(out.Trace, ev.String())
+	}
+	for _, m := range resp.Members {
+		out.Members = append(out.Members, memberJSON{
+			Member:    m.Member,
+			Attempts:  m.Attempts,
+			LatencyUS: m.Latency.Microseconds(),
+			ErrClass:  m.ErrClass,
+			Err:       m.Err,
+		})
 	}
 	for _, l := range resp.Leads {
 		out.Leads = append(out.Leads, leadJSON{Coalition: l.Coalition, Score: l.Score, Via: l.Via})

@@ -1,6 +1,7 @@
 package codb
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -312,49 +313,49 @@ func TestServantOverIIOP(t *testing.T) {
 	defer clientORB.Shutdown()
 	c := NewClient(clientORB.Resolve(ior))
 
-	owner, err := c.Owner()
+	owner, err := c.Owner(context.Background())
 	if err != nil || owner != "Royal Brisbane Hospital" {
 		t.Fatalf("owner = %q, %v", owner, err)
 	}
-	matches, err := c.FindCoalitions("Medical Research")
+	matches, err := c.FindCoalitions(context.Background(), "Medical Research")
 	if err != nil || len(matches) != 2 || matches[0].Coalition != "Medical" {
 		t.Errorf("remote find = %+v, %v", matches, err)
 	}
-	links, err := c.FindLinks("Medical Insurance")
+	links, err := c.FindLinks(context.Background(), "Medical Insurance")
 	if err != nil || len(links) == 0 {
 		t.Errorf("remote find links = %+v, %v", links, err)
 	}
-	cos, err := c.Coalitions()
+	cos, err := c.Coalitions(context.Background())
 	if err != nil || len(cos) != 2 {
 		t.Errorf("remote coalitions = %v, %v", cos, err)
 	}
-	mo, err := c.MemberOf()
+	mo, err := c.MemberOf(context.Background())
 	if err != nil || len(mo) != 2 {
 		t.Errorf("remote member_of = %v, %v", mo, err)
 	}
-	insts, err := c.Instances("Research")
+	insts, err := c.Instances(context.Background(), "Research")
 	if err != nil || len(insts) != 2 {
 		t.Fatalf("remote instances = %v, %v", insts, err)
 	}
-	desc, _, err := c.CoalitionInfo("Research")
+	desc, _, err := c.CoalitionInfo(context.Background(), "Research")
 	if err != nil || !strings.Contains(desc, "research") {
 		t.Errorf("remote coalition info = %q, %v", desc, err)
 	}
-	ai, err := c.AccessInfo("Royal Brisbane Hospital")
+	ai, err := c.AccessInfo(context.Background(), "Royal Brisbane Hospital")
 	if err != nil || ai.Location != "dba.icis.qut.edu.au" {
 		t.Errorf("remote access info = %+v, %v", ai, err)
 	}
-	url, _, err := c.Document("Royal Brisbane Hospital")
+	url, _, err := c.Document(context.Background(), "Royal Brisbane Hospital")
 	if err != nil || url != "http://www.medicine.uq.edu.au/RBH" {
 		t.Errorf("remote document = %q, %v", url, err)
 	}
-	all, err := c.Links()
+	all, err := c.Links(context.Background())
 	if err != nil || len(all) != 2 {
 		t.Errorf("remote links = %v, %v", all, err)
 	}
 
 	// Dynamic join from a remote node.
-	if err := c.Advertise("Medical", &SourceDescriptor{
+	if err := c.Advertise(context.Background(), "Medical", &SourceDescriptor{
 		Name: "Prince Charles Hospital", InformationType: "Medical"}); err != nil {
 		t.Fatal(err)
 	}
@@ -362,23 +363,23 @@ func TestServantOverIIOP(t *testing.T) {
 	if len(members) != 2 {
 		t.Errorf("members after remote advertise = %d", len(members))
 	}
-	if err := c.AddLink(&ServiceLink{Name: "New_Link", FromKind: "coalition",
+	if err := c.AddLink(context.Background(), &ServiceLink{Name: "New_Link", FromKind: "coalition",
 		From: "Medical", ToKind: "database", To: "Ambulance"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.RemoveMember("Medical", "Prince Charles Hospital"); err != nil {
+	if err := c.RemoveMember(context.Background(), "Medical", "Prince Charles Hospital"); err != nil {
 		t.Fatal(err)
 	}
 	// Errors surface as typed user exceptions.
-	if _, err := c.Instances("Nope"); err == nil {
+	if _, err := c.Instances(context.Background(), "Nope"); err == nil {
 		t.Error("unknown coalition accepted remotely")
 	} else if ue, ok := err.(*orb.UserException); !ok || ue.Name != "CoDatabaseError" {
 		t.Errorf("error shape = %v", err)
 	}
-	if _, err := c.AccessInfo("Nobody"); err == nil {
+	if _, err := c.AccessInfo(context.Background(), "Nobody"); err == nil {
 		t.Error("unknown source accepted remotely")
 	}
-	if _, _, err := c.CoalitionInfo("Nope"); err == nil {
+	if _, _, err := c.CoalitionInfo(context.Background(), "Nope"); err == nil {
 		t.Error("unknown coalition info accepted remotely")
 	}
 }
@@ -395,7 +396,7 @@ func TestSubclassesOverIIOP(t *testing.T) {
 	}
 	ior, _ := server.Activate("CoDatabase/RBH", NewServant(cd))
 	c := NewClient(server.Resolve(ior)) // colocated path
-	subs, err := c.SubCoalitions("Research", true)
+	subs, err := c.SubCoalitions(context.Background(), "Research", true)
 	if err != nil || len(subs) != 1 || subs[0] != "Cancer Research" {
 		t.Errorf("remote subclasses = %v, %v", subs, err)
 	}

@@ -203,8 +203,14 @@ func NewClient(ref *orb.ObjectRef) *Client { return &Client{ref: ref} }
 func (c *Client) Ref() *orb.ObjectRef { return c.ref }
 
 // Owner asks for the owning database's name.
-func (c *Client) Owner() (string, error) {
-	v, err := c.ref.Invoke("owner")
+//
+// All Client methods are context-first: the context carries trace parentage
+// across the hop and its deadline bounds the exchange. Read-only metadata
+// operations are idempotent, so transport failures retry under the client
+// ORB's retry policy; mutations (DefineCoalition, Advertise, AddLink,
+// RemoveMember) make exactly one attempt.
+func (c *Client) Owner(ctx context.Context) (string, error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "owner")
 	if err != nil {
 		return "", err
 	}
@@ -212,7 +218,7 @@ func (c *Client) Owner() (string, error) {
 }
 
 func (c *Client) matches(ctx context.Context, op, topic string) ([]Match, error) {
-	v, err := c.ref.InvokeCtx(ctx, op, idl.String(topic))
+	v, err := c.ref.InvokeIdempotent(ctx, op, idl.String(topic))
 	if err != nil {
 		return nil, err
 	}
@@ -224,29 +230,32 @@ func (c *Client) matches(ctx context.Context, op, topic string) ([]Match, error)
 }
 
 // FindCoalitions scores the remote co-database's coalitions against topic.
-func (c *Client) FindCoalitions(topic string) ([]Match, error) {
-	return c.matches(context.Background(), "find_coalitions", topic)
-}
-
-// FindCoalitionsCtx is FindCoalitions carrying the caller's trace context
-// across the hop.
-func (c *Client) FindCoalitionsCtx(ctx context.Context, topic string) ([]Match, error) {
+func (c *Client) FindCoalitions(ctx context.Context, topic string) ([]Match, error) {
 	return c.matches(ctx, "find_coalitions", topic)
 }
 
-// FindLinks scores the remote co-database's service links against topic.
-func (c *Client) FindLinks(topic string) ([]Match, error) {
-	return c.matches(context.Background(), "find_links", topic)
+// FindCoalitionsCtx scores coalitions against topic.
+//
+// Deprecated: FindCoalitions is context-first now; call it directly.
+func (c *Client) FindCoalitionsCtx(ctx context.Context, topic string) ([]Match, error) {
+	return c.FindCoalitions(ctx, topic)
 }
 
-// FindLinksCtx is FindLinks carrying the caller's trace context.
-func (c *Client) FindLinksCtx(ctx context.Context, topic string) ([]Match, error) {
+// FindLinks scores the remote co-database's service links against topic.
+func (c *Client) FindLinks(ctx context.Context, topic string) ([]Match, error) {
 	return c.matches(ctx, "find_links", topic)
 }
 
+// FindLinksCtx scores service links against topic.
+//
+// Deprecated: FindLinks is context-first now; call it directly.
+func (c *Client) FindLinksCtx(ctx context.Context, topic string) ([]Match, error) {
+	return c.FindLinks(ctx, topic)
+}
+
 // Coalitions lists the remote co-database's coalition classes.
-func (c *Client) Coalitions() ([]string, error) {
-	v, err := c.ref.Invoke("coalitions")
+func (c *Client) Coalitions(ctx context.Context) ([]string, error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "coalitions")
 	if err != nil {
 		return nil, err
 	}
@@ -254,8 +263,8 @@ func (c *Client) Coalitions() ([]string, error) {
 }
 
 // MemberOf lists the coalitions the remote owner belongs to.
-func (c *Client) MemberOf() ([]string, error) {
-	v, err := c.ref.Invoke("member_of")
+func (c *Client) MemberOf(ctx context.Context) ([]string, error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "member_of")
 	if err != nil {
 		return nil, err
 	}
@@ -263,8 +272,8 @@ func (c *Client) MemberOf() ([]string, error) {
 }
 
 // SubCoalitions lists sub-coalitions of a coalition.
-func (c *Client) SubCoalitions(coalition string, direct bool) ([]string, error) {
-	v, err := c.ref.Invoke("subclasses", idl.String(coalition), idl.Bool(direct))
+func (c *Client) SubCoalitions(ctx context.Context, coalition string, direct bool) ([]string, error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "subclasses", idl.String(coalition), idl.Bool(direct))
 	if err != nil {
 		return nil, err
 	}
@@ -272,13 +281,8 @@ func (c *Client) SubCoalitions(coalition string, direct bool) ([]string, error) 
 }
 
 // Instances lists a coalition's member descriptors.
-func (c *Client) Instances(coalition string) ([]*SourceDescriptor, error) {
-	return c.InstancesCtx(context.Background(), coalition)
-}
-
-// InstancesCtx is Instances carrying the caller's trace context.
-func (c *Client) InstancesCtx(ctx context.Context, coalition string) ([]*SourceDescriptor, error) {
-	v, err := c.ref.InvokeCtx(ctx, "instances", idl.String(coalition))
+func (c *Client) Instances(ctx context.Context, coalition string) ([]*SourceDescriptor, error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "instances", idl.String(coalition))
 	if err != nil {
 		return nil, err
 	}
@@ -293,9 +297,16 @@ func (c *Client) InstancesCtx(ctx context.Context, coalition string) ([]*SourceD
 	return out, nil
 }
 
+// InstancesCtx lists a coalition's member descriptors.
+//
+// Deprecated: Instances is context-first now; call it directly.
+func (c *Client) InstancesCtx(ctx context.Context, coalition string) ([]*SourceDescriptor, error) {
+	return c.Instances(ctx, coalition)
+}
+
 // CoalitionInfo fetches a coalition's description and synonyms.
-func (c *Client) CoalitionInfo(coalition string) (string, []string, error) {
-	v, err := c.ref.Invoke("coalition_info", idl.String(coalition))
+func (c *Client) CoalitionInfo(ctx context.Context, coalition string) (string, []string, error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "coalition_info", idl.String(coalition))
 	if err != nil {
 		return "", nil, err
 	}
@@ -304,22 +315,24 @@ func (c *Client) CoalitionInfo(coalition string) (string, []string, error) {
 }
 
 // AccessInfo fetches a source descriptor by database name.
-func (c *Client) AccessInfo(source string) (*SourceDescriptor, error) {
-	return c.AccessInfoCtx(context.Background(), source)
-}
-
-// AccessInfoCtx is AccessInfo carrying the caller's trace context.
-func (c *Client) AccessInfoCtx(ctx context.Context, source string) (*SourceDescriptor, error) {
-	v, err := c.ref.InvokeCtx(ctx, "access_info", idl.String(source))
+func (c *Client) AccessInfo(ctx context.Context, source string) (*SourceDescriptor, error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "access_info", idl.String(source))
 	if err != nil {
 		return nil, err
 	}
 	return DescriptorFromAny(v)
 }
 
+// AccessInfoCtx fetches a source descriptor by database name.
+//
+// Deprecated: AccessInfo is context-first now; call it directly.
+func (c *Client) AccessInfoCtx(ctx context.Context, source string) (*SourceDescriptor, error) {
+	return c.AccessInfo(ctx, source)
+}
+
 // Document fetches a source's documentation URL and HTML body.
-func (c *Client) Document(source string) (url, html string, err error) {
-	v, err := c.ref.Invoke("document", idl.String(source))
+func (c *Client) Document(ctx context.Context, source string) (url, html string, err error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "document", idl.String(source))
 	if err != nil {
 		return "", "", err
 	}
@@ -327,8 +340,8 @@ func (c *Client) Document(source string) (url, html string, err error) {
 }
 
 // Links lists the remote co-database's service links.
-func (c *Client) Links() ([]*ServiceLink, error) {
-	v, err := c.ref.Invoke("links")
+func (c *Client) Links(ctx context.Context) ([]*ServiceLink, error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "links")
 	if err != nil {
 		return nil, err
 	}
@@ -344,36 +357,40 @@ func (c *Client) Links() ([]*ServiceLink, error) {
 }
 
 // DefineCoalition declares a coalition class remotely.
-func (c *Client) DefineCoalition(name, parent, description string) error {
-	_, err := c.ref.Invoke("define_coalition",
+func (c *Client) DefineCoalition(ctx context.Context, name, parent, description string) error {
+	_, err := c.ref.InvokeCtx(ctx, "define_coalition",
 		idl.String(name), idl.String(parent), idl.String(description))
 	return err
 }
 
 // Advertise adds a member descriptor to a remote coalition (dynamic join).
-func (c *Client) Advertise(coalition string, d *SourceDescriptor) error {
-	return c.AdvertiseCtx(context.Background(), coalition, d)
-}
-
-// AdvertiseCtx is Advertise carrying the caller's trace context.
-func (c *Client) AdvertiseCtx(ctx context.Context, coalition string, d *SourceDescriptor) error {
+func (c *Client) Advertise(ctx context.Context, coalition string, d *SourceDescriptor) error {
 	_, err := c.ref.InvokeCtx(ctx, "advertise", idl.String(coalition), d.ToAny())
 	return err
 }
 
+// AdvertiseCtx adds a member descriptor to a remote coalition.
+//
+// Deprecated: Advertise is context-first now; call it directly.
+func (c *Client) AdvertiseCtx(ctx context.Context, coalition string, d *SourceDescriptor) error {
+	return c.Advertise(ctx, coalition, d)
+}
+
 // AddLink records a service link remotely.
-func (c *Client) AddLink(l *ServiceLink) error {
-	_, err := c.ref.Invoke("add_link", l.ToAny())
+func (c *Client) AddLink(ctx context.Context, l *ServiceLink) error {
+	_, err := c.ref.InvokeCtx(ctx, "add_link", l.ToAny())
 	return err
 }
 
 // RemoveMember withdraws a database from a remote coalition.
-func (c *Client) RemoveMember(coalition, source string) error {
-	return c.RemoveMemberCtx(context.Background(), coalition, source)
-}
-
-// RemoveMemberCtx is RemoveMember carrying the caller's trace context.
-func (c *Client) RemoveMemberCtx(ctx context.Context, coalition, source string) error {
+func (c *Client) RemoveMember(ctx context.Context, coalition, source string) error {
 	_, err := c.ref.InvokeCtx(ctx, "remove_member", idl.String(coalition), idl.String(source))
 	return err
+}
+
+// RemoveMemberCtx withdraws a database from a remote coalition.
+//
+// Deprecated: RemoveMember is context-first now; call it directly.
+func (c *Client) RemoveMemberCtx(ctx context.Context, coalition, source string) error {
+	return c.RemoveMember(ctx, coalition, source)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestNewNodeRelational(t *testing.T) {
 	}
 	// Session against own node: native query.
 	s := n.NewSession()
-	resp, err := s.Execute(`Query TestDB Using Native "SELECT COUNT(*) FROM t";`)
+	resp, err := s.Execute(context.Background(), `Query TestDB Using Native "SELECT COUNT(*) FROM t";`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestNewNodeObject(t *testing.T) {
 		t.Fatal("OODB not built")
 	}
 	s := n.NewSession()
-	resp, err := s.Execute(`Query ObjDB Using Native "SELECT N FROM Thing";`)
+	resp, err := s.Execute(context.Background(), `Query ObjDB Using Native "SELECT N FROM Thing";`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestFederationWiring(t *testing.T) {
 
 	// Cross-node discovery: Gamma finds Topic through its link.
 	s := g.NewSession()
-	resp, err := s.Execute("Find Coalitions With Information shared topic;")
+	resp, err := s.Execute(context.Background(), "Find Coalitions With Information shared topic;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,10 +218,10 @@ func TestFederationWiring(t *testing.T) {
 		t.Errorf("leads = %+v", resp.Leads)
 	}
 	// And can connect + browse through the link.
-	if _, err := s.Execute("Connect To Coalition Topic;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Connect To Coalition Topic;"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = s.Execute("Display Instances of Class Topic;")
+	resp, err = s.Execute(context.Background(), "Display Instances of Class Topic;")
 	if err != nil || len(resp.Sources) != 2 {
 		t.Errorf("instances over link = %v, %v", resp.Names, err)
 	}
@@ -277,7 +278,7 @@ func TestJoinViaWebTassili(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := two.NewSession()
-	if _, err := s.Execute("Join Coalition Club;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Join Coalition Club;"); err != nil {
 		t.Fatal(err)
 	}
 	one, _ := f.Node("One")
@@ -285,7 +286,7 @@ func TestJoinViaWebTassili(t *testing.T) {
 	if len(members) != 2 {
 		t.Fatalf("club members after WebTassili join = %d", len(members))
 	}
-	if _, err := s.Execute("Leave Coalition Club;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Leave Coalition Club;"); err != nil {
 		t.Fatal(err)
 	}
 	members, _ = one.CoDB.Members("Club")
@@ -314,13 +315,13 @@ func TestMaintenanceStatements(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := node.NewSession()
-	if _, err := s.Execute(`Create Coalition Local Topics Description "local organisation";`); err != nil {
+	if _, err := s.Execute(context.Background(), `Create Coalition Local Topics Description "local organisation";`); err != nil {
 		t.Fatal(err)
 	}
 	if !node.CoDB.HasCoalition("Local Topics") {
 		t.Error("coalition not created")
 	}
-	if _, err := s.Execute(`Create Service Link Solo_to_Elsewhere From Database Solo To Coalition Local Topics Information "topics";`); err != nil {
+	if _, err := s.Execute(context.Background(), `Create Service Link Solo_to_Elsewhere From Database Solo To Coalition Local Topics Information "topics";`); err != nil {
 		t.Fatal(err)
 	}
 	if got := node.CoDB.Links(); len(got) != 1 || got[0].Name != "Solo_to_Elsewhere" {
@@ -377,7 +378,7 @@ func TestPeerFailureDuringDiscovery(t *testing.T) {
 
 	s := home.NewSession()
 	// Baseline: peer's data is reachable.
-	if _, err := s.Execute(`Query Peer Using Native "SELECT a FROM t";`); err != nil {
+	if _, err := s.Execute(context.Background(), `Query Peer Using Native "SELECT a FROM t";`); err != nil {
 		t.Fatalf("baseline query: %v", err)
 	}
 
@@ -386,7 +387,7 @@ func TestPeerFailureDuringDiscovery(t *testing.T) {
 
 	// Discovery for an unknown topic escalates to peers; the dead peer is
 	// skipped and the query completes (with no leads) instead of erroring.
-	resp, err := s.Execute("Find Coalitions With Information unknown elsewhere topic;")
+	resp, err := s.Execute(context.Background(), "Find Coalitions With Information unknown elsewhere topic;")
 	if err != nil {
 		t.Fatalf("discovery with dead peer: %v", err)
 	}
@@ -394,7 +395,7 @@ func TestPeerFailureDuringDiscovery(t *testing.T) {
 		t.Errorf("leads from dead peer = %+v", resp.Leads)
 	}
 	// Data access to the dead source fails loudly and typed.
-	_, err = s.Execute(`Query Peer Using Native "SELECT a FROM t";`)
+	_, err = s.Execute(context.Background(), `Query Peer Using Native "SELECT a FROM t";`)
 	if err == nil {
 		t.Fatal("query against dead source succeeded")
 	}
@@ -402,7 +403,7 @@ func TestPeerFailureDuringDiscovery(t *testing.T) {
 		t.Errorf("error = %v", err)
 	}
 	// Local work is unaffected.
-	if _, err := s.Execute(`Query Home Using Native "SELECT a FROM t";`); err != nil {
+	if _, err := s.Execute(context.Background(), `Query Home Using Native "SELECT a FROM t";`); err != nil {
 		t.Errorf("local query after peer death: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -63,7 +64,9 @@ func (c *relConn) check() error {
 	return nil
 }
 
-func (c *relConn) Query(q string) (*Result, error) {
+// Query implements Conn. The engine is in-process and synchronous, so the
+// context is not consulted mid-statement.
+func (c *relConn) Query(_ context.Context, q string) (*Result, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
@@ -74,7 +77,7 @@ func (c *relConn) Query(q string) (*Result, error) {
 	return fromRelational(res), nil
 }
 
-func (c *relConn) Exec(q string) (*Result, error) {
+func (c *relConn) Exec(_ context.Context, q string) (*Result, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
@@ -196,7 +199,8 @@ func (c *ooConn) check() error {
 	return nil
 }
 
-func (c *ooConn) Query(q string) (*Result, error) {
+// Query implements Conn; in-process, so the context is not consulted.
+func (c *ooConn) Query(_ context.Context, q string) (*Result, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
@@ -218,7 +222,7 @@ func (c *ooConn) Query(q string) (*Result, error) {
 // Exec on an OO connection accepts the same query language (reads only; the
 // OO engines are populated through their native API, as in the paper's
 // prototype where co-databases are maintained by the system).
-func (c *ooConn) Exec(q string) (*Result, error) { return c.Query(q) }
+func (c *ooConn) Exec(ctx context.Context, q string) (*Result, error) { return c.Query(ctx, q) }
 
 func (c *ooConn) Begin() error {
 	return fmt.Errorf("gateway: %s connections do not support transactions", c.product)

@@ -118,13 +118,16 @@ type SourceMeta struct {
 
 // Conn is one open connection to a database, in the shape of a JDBC
 // connection: statement execution plus transaction control. Connections are
-// not safe for concurrent use.
+// not safe for concurrent use. Statement execution is context-first: the
+// context carries trace parentage across ORB hops (remote ISI connections)
+// and its deadline/cancellation bounds the statement; in-process drivers may
+// ignore it.
 type Conn interface {
 	// Query runs a read-only query in the engine's native language (SQL for
 	// relational engines, OQL for object-oriented ones).
-	Query(q string) (*Result, error)
+	Query(ctx context.Context, q string) (*Result, error)
 	// Exec runs any statement.
-	Exec(q string) (*Result, error)
+	Exec(ctx context.Context, q string) (*Result, error)
 	// Begin/Commit/Rollback control a transaction where the engine supports
 	// them.
 	Begin() error
@@ -137,31 +140,18 @@ type Conn interface {
 	Close() error
 }
 
-// ContextConn is optionally implemented by connections that accept a caller
-// context — the remote ISI connection uses it to keep the caller's trace
-// alive across the ORB hop to the data source. Use QueryContext/ExecContext
-// to call through it uniformly.
-type ContextConn interface {
-	Conn
-	QueryCtx(ctx context.Context, q string) (*Result, error)
-	ExecCtx(ctx context.Context, q string) (*Result, error)
-}
-
-// QueryContext runs a query through QueryCtx when the connection supports a
-// context, and plain Query otherwise.
+// QueryContext runs a query on a connection.
+//
+// Deprecated: Conn.Query is context-first now; call c.Query(ctx, q) directly.
 func QueryContext(ctx context.Context, c Conn, q string) (*Result, error) {
-	if cc, ok := c.(ContextConn); ok {
-		return cc.QueryCtx(ctx, q)
-	}
-	return c.Query(q)
+	return c.Query(ctx, q)
 }
 
-// ExecContext is QueryContext for Exec.
+// ExecContext runs a statement on a connection.
+//
+// Deprecated: Conn.Exec is context-first now; call c.Exec(ctx, q) directly.
 func ExecContext(ctx context.Context, c Conn, q string) (*Result, error) {
-	if cc, ok := c.(ContextConn); ok {
-		return cc.ExecCtx(ctx, q)
-	}
-	return c.Exec(q)
+	return c.Exec(ctx, q)
 }
 
 // Driver creates connections for one DSN scheme.

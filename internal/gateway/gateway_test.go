@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestManagerAndRelationalDriver(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	res, err := conn.Query("SELECT * FROM medical_students ORDER BY student_id")
+	res, err := conn.Query(context.Background(), "SELECT * FROM medical_students ORDER BY student_id")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,13 +112,13 @@ func TestRelationalConnTransactions(t *testing.T) {
 	if err := conn.Begin(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("DELETE FROM medical_students"); err != nil {
+	if _, err := conn.Exec(context.Background(), "DELETE FROM medical_students"); err != nil {
 		t.Fatal(err)
 	}
 	if err := conn.Rollback(); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := conn.Query("SELECT COUNT(*) FROM medical_students")
+	res, _ := conn.Query(context.Background(), "SELECT COUNT(*) FROM medical_students")
 	if res.Rows[0][0].Int != 3 {
 		t.Errorf("rollback through gateway failed: %v", res.Rows[0][0])
 	}
@@ -125,7 +126,7 @@ func TestRelationalConnTransactions(t *testing.T) {
 	if err := conn.Begin(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("DELETE FROM medical_students"); err != nil {
+	if _, err := conn.Exec(context.Background(), "DELETE FROM medical_students"); err != nil {
 		t.Fatal(err)
 	}
 	if err := conn.Close(); err != nil {
@@ -135,7 +136,7 @@ func TestRelationalConnTransactions(t *testing.T) {
 	if dres.Rows[0][0].Int != 3 {
 		t.Error("Close did not roll back")
 	}
-	if _, err := conn.Query("SELECT 1"); err == nil {
+	if _, err := conn.Query(context.Background(), "SELECT 1"); err == nil {
 		t.Error("query on closed connection accepted")
 	}
 }
@@ -147,7 +148,7 @@ func TestObjectDriverOQL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := conn.Query("SELECT Name, Field FROM Research WHERE Field = 'oncology'")
+	res, err := conn.Query(context.Background(), "SELECT Name, Field FROM Research WHERE Field = 'oncology'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestISIOverIIOP(t *testing.T) {
 	defer client.Shutdown()
 	rconn := NewRemoteConn(client.Resolve(ior))
 
-	res, err := rconn.Query("SELECT name FROM medical_students WHERE year > 4 ORDER BY name")
+	res, err := rconn.Query(context.Background(), "SELECT name FROM medical_students WHERE year > 4 ORDER BY name")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,12 +244,12 @@ func TestISIOverIIOP(t *testing.T) {
 		t.Errorf("remote tables = %v", tables)
 	}
 	// Engine errors surface with the engine's message.
-	_, err = rconn.Query("SELECT * FROM no_such_table")
+	_, err = rconn.Query(context.Background(), "SELECT * FROM no_such_table")
 	if err == nil || !strings.Contains(err.Error(), "no_such_table") {
 		t.Errorf("remote error = %v", err)
 	}
 	// Exec crosses the wire too.
-	out, err := rconn.Exec("INSERT INTO medical_students VALUES (4, 'New', 'Medicine', 1)")
+	out, err := rconn.Exec(context.Background(), "INSERT INTO medical_students VALUES (4, 'New', 'Medicine', 1)")
 	if err != nil || out.RowsAffected != 1 {
 		t.Errorf("remote exec: %+v, %v", out, err)
 	}
@@ -258,7 +259,7 @@ func TestISIOverIIOP(t *testing.T) {
 	if err := rconn.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rconn.Query("SELECT 1"); err == nil {
+	if _, err := rconn.Query(context.Background(), "SELECT 1"); err == nil {
 		t.Error("closed remote conn accepted query")
 	}
 }
@@ -282,7 +283,7 @@ func TestRemoteDriverDSN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := conn.Query("SELECT COUNT(*) FROM medical_students")
+	res, err := conn.Query(context.Background(), "SELECT COUNT(*) FROM medical_students")
 	if err != nil || res.Rows[0][0].Int != 3 {
 		t.Errorf("remote dsn query: %v %v", res, err)
 	}
@@ -305,10 +306,10 @@ func TestMSQLDialectThroughGateway(t *testing.T) {
 	}
 	conn, _ := drv.Open("CentreLink")
 	// Plain selects work; aggregates are refused by the dialect.
-	if _, err := conn.Query("SELECT * FROM benefits"); err != nil {
+	if _, err := conn.Query(context.Background(), "SELECT * FROM benefits"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Query("SELECT SUM(amount) FROM benefits"); err == nil {
+	if _, err := conn.Query(context.Background(), "SELECT SUM(amount) FROM benefits"); err == nil {
 		t.Error("mSQL aggregate accepted through gateway")
 	}
 	if err := conn.Begin(); err == nil {

@@ -38,9 +38,9 @@ func NewISIServant(conn Conn) orb.Servant {
 	h.OnCtx("query", func(ctx context.Context, args []idl.Any) (idl.Any, error) {
 		mu.Lock()
 		defer mu.Unlock()
-		_, sp := trace.StartSpan(ctx, "isi.query:"+meta.Engine)
+		ctx, sp := trace.StartSpan(ctx, "isi.query:"+meta.Engine)
 		sp.SetAttr("database", meta.Database)
-		res, err := conn.Query(args[0].Str)
+		res, err := conn.Query(ctx, args[0].Str)
 		sp.End(err)
 		if err != nil {
 			return idl.Null(), &orb.UserException{Name: "QueryError", Message: err.Error()}
@@ -50,9 +50,9 @@ func NewISIServant(conn Conn) orb.Servant {
 	h.OnCtx("exec", func(ctx context.Context, args []idl.Any) (idl.Any, error) {
 		mu.Lock()
 		defer mu.Unlock()
-		_, sp := trace.StartSpan(ctx, "isi.exec:"+meta.Engine)
+		ctx, sp := trace.StartSpan(ctx, "isi.exec:"+meta.Engine)
 		sp.SetAttr("database", meta.Database)
-		res, err := conn.Exec(args[0].Str)
+		res, err := conn.Exec(ctx, args[0].Str)
 		sp.End(err)
 		if err != nil {
 			return idl.Null(), &orb.UserException{Name: "ExecError", Message: err.Error()}
@@ -95,31 +95,31 @@ func (c *RemoteConn) check() error {
 	return nil
 }
 
-// Query implements Conn.
-func (c *RemoteConn) Query(q string) (*Result, error) {
-	return c.QueryCtx(context.Background(), q)
-}
-
-// QueryCtx implements ContextConn: the context travels through the ORB hop,
-// so the remote ISI's driver span joins the caller's trace.
-func (c *RemoteConn) QueryCtx(ctx context.Context, q string) (*Result, error) {
+// Query implements Conn: the context travels through the ORB hop, so the
+// remote ISI's driver span joins the caller's trace and the deadline bounds
+// the exchange. Queries are idempotent, so transport failures retry under the
+// client ORB's retry policy.
+func (c *RemoteConn) Query(ctx context.Context, q string) (*Result, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
-	a, err := c.ref.InvokeCtx(ctx, "query", idl.String(q))
+	a, err := c.ref.InvokeIdempotent(ctx, "query", idl.String(q))
 	if err != nil {
 		return nil, remapISIError(err)
 	}
 	return ResultFromAny(a)
 }
 
-// Exec implements Conn.
-func (c *RemoteConn) Exec(q string) (*Result, error) {
-	return c.ExecCtx(context.Background(), q)
+// QueryCtx runs a query.
+//
+// Deprecated: Query is context-first now; call c.Query(ctx, q) directly.
+func (c *RemoteConn) QueryCtx(ctx context.Context, q string) (*Result, error) {
+	return c.Query(ctx, q)
 }
 
-// ExecCtx implements ContextConn.
-func (c *RemoteConn) ExecCtx(ctx context.Context, q string) (*Result, error) {
+// Exec implements Conn. Statements may mutate, so they are never retried
+// transparently.
+func (c *RemoteConn) Exec(ctx context.Context, q string) (*Result, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
@@ -128,6 +128,13 @@ func (c *RemoteConn) ExecCtx(ctx context.Context, q string) (*Result, error) {
 		return nil, remapISIError(err)
 	}
 	return ResultFromAny(a)
+}
+
+// ExecCtx runs a statement.
+//
+// Deprecated: Exec is context-first now; call c.Exec(ctx, q) directly.
+func (c *RemoteConn) ExecCtx(ctx context.Context, q string) (*Result, error) {
+	return c.Exec(ctx, q)
 }
 
 // Begin is unsupported across the ISI boundary (as in the paper's prototype,
@@ -194,7 +201,7 @@ func (d *RemoteDriver) Open(name string) (Conn, error) {
 	return NewRemoteConn(ref), nil
 }
 
-var _ ContextConn = (*RemoteConn)(nil)
+var _ Conn = (*RemoteConn)(nil)
 var _ Driver = (*RemoteDriver)(nil)
 var _ Driver = (*RelationalDriver)(nil)
 var _ Driver = (*ObjectDriver)(nil)

@@ -1,6 +1,7 @@
 package medworld
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -179,7 +180,7 @@ func TestSection23Walkthrough(t *testing.T) {
 	s := qut.NewSession()
 
 	// "Find Coalitions With Information Medical Research;"
-	resp, err := s.Execute("Find Coalitions With Information Medical Research;")
+	resp, err := s.Execute(context.Background(), "Find Coalitions With Information Medical Research;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestSection23Walkthrough(t *testing.T) {
 	}
 
 	// "Connect To Coalition Research;"
-	if _, err := s.Execute("Connect To Coalition Research;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Connect To Coalition Research;"); err != nil {
 		t.Fatal(err)
 	}
 	if s.Coalition != CoalitionResearch {
@@ -197,7 +198,7 @@ func TestSection23Walkthrough(t *testing.T) {
 	}
 
 	// "Display SubClasses of Class Research" — none in the base world.
-	resp, err = s.Execute("Display SubClasses of Class Research;")
+	resp, err = s.Execute(context.Background(), "Display SubClasses of Class Research;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestSection23Walkthrough(t *testing.T) {
 	}
 
 	// "Display Instances of Class Research" — the four Research members.
-	resp, err = s.Execute("Display Instances of Class Research;")
+	resp, err = s.Execute(context.Background(), "Display Instances of Class Research;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestSection23Walkthrough(t *testing.T) {
 	}
 
 	// "Display Document of Instance Royal Brisbane Hospital Of Class Research;"
-	resp, err = s.Execute("Display Document of Instance Royal Brisbane Hospital Of Class Research;")
+	resp, err = s.Execute(context.Background(), "Display Document of Instance Royal Brisbane Hospital Of Class Research;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestSection23Walkthrough(t *testing.T) {
 	}
 
 	// "Display Access Information of Instance Royal Brisbane Hospital;"
-	resp, err = s.Execute("Display Access Information of Instance Royal Brisbane Hospital;")
+	resp, err = s.Execute(context.Background(), "Display Access Information of Instance Royal Brisbane Hospital;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestSection23Walkthrough(t *testing.T) {
 	}
 
 	// The Funding() invocation; the paper gives the exact SQL translation.
-	resp, err = s.Execute(`Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs"));`)
+	resp, err = s.Execute(context.Background(), `Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs"));`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestInsuranceDiscovery(t *testing.T) {
 	qut, _ := w.Node(QUT)
 	s := qut.NewSession()
 
-	resp, err := s.Execute(`Find Coalitions With Information "Medical Insurance";`)
+	resp, err := s.Execute(context.Background(), `Find Coalitions With Information "Medical Insurance";`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,10 +289,10 @@ func TestInsuranceDiscovery(t *testing.T) {
 
 	// The user investigates the coalition: connection hops through the peer
 	// and the link to a member of the insurance coalition.
-	if _, err := s.Execute("Connect To Coalition Medical Insurance;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Connect To Coalition Medical Insurance;"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err = s.Execute("Display Instances of Class Medical Insurance;")
+	resp, err = s.Execute(context.Background(), "Display Instances of Class Medical Insurance;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,10 +308,10 @@ func TestFigure6QueryResult(t *testing.T) {
 	w := sharedWorld(t)
 	qut, _ := w.Node(QUT)
 	s := qut.NewSession()
-	if _, err := s.Execute("Connect To Coalition Research;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Connect To Coalition Research;"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := s.Execute(`Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
+	resp, err := s.Execute(context.Background(), `Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,13 +333,17 @@ func TestFigure3LayerTrace(t *testing.T) {
 	w := sharedWorld(t)
 	qut, _ := w.Node(QUT)
 	s := qut.NewSession()
-	if _, err := s.Execute("Find Coalitions With Information Medical Research;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Find Coalitions With Information Medical Research;"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Execute(`Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs")) On Royal Brisbane Hospital;`); err != nil {
+	if _, err := s.Execute(context.Background(), `Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs")) On Royal Brisbane Hospital;`); err != nil {
 		t.Fatal(err)
 	}
-	trace := strings.Join(s.Trace(), "\n")
+	var lines []string
+	for _, ev := range s.Trace() {
+		lines = append(lines, ev.String())
+	}
+	trace := strings.Join(lines, "\n")
 	for _, layer := range []string{"query layer:", "communication layer:", "meta-data layer:", "data layer:"} {
 		if !strings.Contains(trace, layer) {
 			t.Errorf("trace missing %q:\n%s", layer, trace)
@@ -354,7 +359,7 @@ func TestOntosSourceQueries(t *testing.T) {
 	// Ambulance is standalone; query it from its own node's session.
 	amb, _ := w.Node(Ambulance)
 	s := amb.NewSession()
-	resp, err := s.Execute(`Hospital(Callout.Suburb, (Callout.Suburb = "Herston")) On Ambulance;`)
+	resp, err := s.Execute(context.Background(), `Hospital(Callout.Suburb, (Callout.Suburb = "Herston")) On Ambulance;`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,11 +378,11 @@ func TestMSQLDialectSurfacesInFederation(t *testing.T) {
 	w := sharedWorld(t)
 	cl, _ := w.Node(Centre)
 	s := cl.NewSession()
-	_, err := s.Execute(`Query Centre Link Using Native "SELECT COUNT(*) FROM benefits";`)
+	_, err := s.Execute(context.Background(), `Query Centre Link Using Native "SELECT COUNT(*) FROM benefits";`)
 	if err == nil || !strings.Contains(err.Error(), "mSQL") {
 		t.Errorf("mSQL aggregate error = %v", err)
 	}
-	resp, err := s.Execute(`Query Centre Link Using Native "SELECT name, fortnightly FROM benefits ORDER BY name";`)
+	resp, err := s.Execute(context.Background(), `Query Centre Link Using Native "SELECT name, fortnightly FROM benefits ORDER BY name";`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +396,7 @@ func TestSearchType(t *testing.T) {
 	w := sharedWorld(t)
 	qut, _ := w.Node(QUT)
 	s := qut.NewSession()
-	resp, err := s.Execute("Search Type PatientHistory;")
+	resp, err := s.Execute(context.Background(), "Search Type PatientHistory;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,10 +447,10 @@ func TestFuncQueryOnInsuranceMember(t *testing.T) {
 	w := sharedWorld(t)
 	qut, _ := w.Node(QUT)
 	s := qut.NewSession()
-	if _, err := s.Execute("Connect To Coalition Medical Insurance;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Connect To Coalition Medical Insurance;"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := s.Execute(`Plan(Members.Name, (Members.Name = "B. Tran")) On MBF;`)
+	resp, err := s.Execute(context.Background(), `Plan(Members.Name, (Members.Name = "B. Tran")) On MBF;`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,20 +464,20 @@ func TestUnknownTopicsAndSources(t *testing.T) {
 	w := sharedWorld(t)
 	qut, _ := w.Node(QUT)
 	s := qut.NewSession()
-	resp, err := s.Execute("Find Coalitions With Information quantum chromodynamics;")
+	resp, err := s.Execute(context.Background(), "Find Coalitions With Information quantum chromodynamics;")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(resp.Leads) != 0 {
 		t.Errorf("leads for nonsense topic = %+v", resp.Leads)
 	}
-	if _, err := s.Execute("Connect To Coalition Nonexistent;"); err == nil {
+	if _, err := s.Execute(context.Background(), "Connect To Coalition Nonexistent;"); err == nil {
 		t.Error("connect to unknown coalition succeeded")
 	}
-	if _, err := s.Execute(`Query Nobody Using Native "SELECT 1";`); err == nil {
+	if _, err := s.Execute(context.Background(), `Query Nobody Using Native "SELECT 1";`); err == nil {
 		t.Error("query against unknown source succeeded")
 	}
-	if _, err := s.Execute(`Nothing(ResearchProjects.Title) On Royal Brisbane Hospital;`); err == nil {
+	if _, err := s.Execute(context.Background(), `Nothing(ResearchProjects.Title) On Royal Brisbane Hospital;`); err == nil {
 		t.Error("unknown exported function accepted")
 	}
 }
@@ -483,7 +488,7 @@ func TestCoalitionFanOutQuery(t *testing.T) {
 	w := sharedWorld(t)
 	qut, _ := w.Node(QUT)
 	s := qut.NewSession()
-	resp, err := s.Execute(`Funding(ResearchProjects.Title, (ResearchProjects.Title LIKE "%")) On Coalition Research;`)
+	resp, err := s.Execute(context.Background(), `Funding(ResearchProjects.Title, (ResearchProjects.Title LIKE "%")) On Coalition Research;`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +505,7 @@ func TestCoalitionFanOutQuery(t *testing.T) {
 		}
 	}
 	// A function nobody exports fails loudly.
-	if _, err := s.Execute(`Nothing(X.Y) On Coalition Research;`); err == nil {
+	if _, err := s.Execute(context.Background(), `Nothing(X.Y) On Coalition Research;`); err == nil {
 		t.Error("fan-out of unknown function accepted")
 	}
 }
@@ -510,7 +515,7 @@ func TestSearchTypeStructural(t *testing.T) {
 	w := sharedWorld(t)
 	qut, _ := w.Node(QUT)
 	s := qut.NewSession()
-	resp, err := s.Execute(`Search Type ResearchProjects With Structure (attribute string ResearchProjects.Title; attribute date BeginDate;);`)
+	resp, err := s.Execute(context.Background(), `Search Type ResearchProjects With Structure (attribute string ResearchProjects.Title; attribute date BeginDate;);`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,7 +523,7 @@ func TestSearchTypeStructural(t *testing.T) {
 		t.Errorf("structural hits = %v", resp.Names)
 	}
 	// A structure the type does not declare yields no hits.
-	resp, err = s.Execute(`Search Type ResearchProjects With Structure (attribute string NoSuchAttr;);`)
+	resp, err = s.Execute(context.Background(), `Search Type ResearchProjects With Structure (attribute string NoSuchAttr;);`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -526,7 +531,7 @@ func TestSearchTypeStructural(t *testing.T) {
 		t.Errorf("false structural hits = %v", resp.Names)
 	}
 	// Type mismatch on a declared attribute also misses.
-	resp, err = s.Execute(`Search Type ResearchProjects With Structure (attribute int Title;);`)
+	resp, err = s.Execute(context.Background(), `Search Type ResearchProjects With Structure (attribute int Title;);`)
 	if err != nil {
 		t.Fatal(err)
 	}

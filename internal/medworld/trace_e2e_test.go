@@ -31,12 +31,12 @@ func TestHealthcareQueryEndToEndTrace(t *testing.T) {
 
 	qut, _ := w.Node(QUT)
 	s := qut.NewSession()
-	if _, err := s.Execute("Connect To Coalition Research;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Connect To Coalition Research;"); err != nil {
 		t.Fatal(err)
 	}
 
 	ctx, root := tr.StartSpan(context.Background(), "session")
-	resp, err := s.ExecuteCtx(ctx, `Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
+	resp, err := s.Execute(ctx, `Query Royal Brisbane Hospital Using Native "select * from medical_students";`)
 	root.End(err)
 	if err != nil {
 		t.Fatal(err)

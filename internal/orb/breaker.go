@@ -1,0 +1,142 @@
+package orb
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerPolicy configures the per-endpoint circuit breaker. The zero value
+// disables it.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive transport failures (COMM_FAILURE
+	// class) after which the endpoint's breaker opens. 0 disables breakers.
+	Threshold int
+	// Cooldown is how long an open breaker rejects calls before letting one
+	// probe through (half-open). 0 means the default of 1 second.
+	Cooldown time.Duration
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Cooldown <= 0 {
+		p.Cooldown = time.Second
+	}
+	return p
+}
+
+// Breaker state names, as reported by BreakerSnapshot.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerState is one endpoint's breaker as seen by /debug/metrics.
+type BreakerState struct {
+	State    string `json:"state"`
+	Failures int    `json:"failures"` // consecutive failures while closed
+}
+
+// breaker is one endpoint's circuit: closed (normal), open (failing fast
+// until the cooldown elapses), half-open (one probe in flight decides).
+type breaker struct {
+	state    string
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// breakerSet holds the per-endpoint breakers of one ORB.
+type breakerSet struct {
+	policy BreakerPolicy
+	stats  *Stats
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func newBreakerSet(policy BreakerPolicy, stats *Stats) *breakerSet {
+	return &breakerSet{policy: policy.withDefaults(), stats: stats, m: make(map[string]*breaker)}
+}
+
+func (s *breakerSet) get(addr string) *breaker {
+	b := s.m[addr]
+	if b == nil {
+		b = &breaker{state: BreakerClosed}
+		s.m[addr] = b
+	}
+	return b
+}
+
+// allow decides whether a call to addr may proceed. While open it fails fast
+// with a TRANSIENT system exception until the cooldown elapses, at which
+// point exactly one caller is admitted as the half-open probe; its outcome
+// (reported through record) closes or re-opens the circuit.
+func (s *breakerSet) allow(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(addr)
+	switch b.state {
+	case BreakerOpen:
+		if time.Since(b.openedAt) < s.policy.Cooldown {
+			s.stats.BreakerRejects.Add(1)
+			return &SystemException{Name: ExcTransient,
+				Detail: "circuit breaker open for " + addr}
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	case BreakerHalfOpen:
+		if b.probing {
+			s.stats.BreakerRejects.Add(1)
+			return &SystemException{Name: ExcTransient,
+				Detail: "circuit breaker half-open for " + addr + "; probe in flight"}
+		}
+		b.probing = true
+		return nil
+	default:
+		return nil
+	}
+}
+
+// record feeds one call outcome back. Only transport-class failures count
+// against the circuit; application errors (user exceptions, servant errors)
+// are successful deliveries as far as the endpoint's health is concerned.
+func (s *breakerSet) record(addr string, failure bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(addr)
+	if !failure {
+		if b.state != BreakerClosed {
+			b.state = BreakerClosed
+		}
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+		s.stats.BreakerTrips.Add(1)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= s.policy.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			s.stats.BreakerTrips.Add(1)
+		}
+	}
+}
+
+// snapshot copies the breaker states for serialisation.
+func (s *breakerSet) snapshot() map[string]BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerState, len(s.m))
+	for addr, b := range s.m {
+		out[addr] = BreakerState{State: b.state, Failures: b.fails}
+	}
+	return out
+}

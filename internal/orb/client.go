@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -30,25 +31,35 @@ func (r *ObjectRef) IOR() *IOR { return r.ior }
 
 // Invoke performs a synchronous request and returns the result value.
 func (r *ObjectRef) Invoke(op string, args ...idl.Any) (idl.Any, error) {
-	return r.invoke(context.Background(), op, args, true)
+	return r.invoke(context.Background(), op, args, true, false)
 }
 
 // InvokeCtx is Invoke with a caller context. The context reaches the client
 // request interceptors (which propagate its trace parentage across the hop
 // in a service context entry) and, on the colocated fast path, the servant.
+// A context deadline bounds each transport exchange: the effective per-call
+// timeout is the smaller of the remaining deadline and Options.CallTimeout.
 func (r *ObjectRef) InvokeCtx(ctx context.Context, op string, args ...idl.Any) (idl.Any, error) {
-	return r.invoke(ctx, op, args, true)
+	return r.invoke(ctx, op, args, true, false)
+}
+
+// InvokeIdempotent is InvokeCtx for operations that are safe to issue more
+// than once (reads, probes). When Options.Retry allows, transport-class
+// failures are retried transparently with exponential backoff and jitter;
+// the per-invocation context still bounds the whole sequence.
+func (r *ObjectRef) InvokeIdempotent(ctx context.Context, op string, args ...idl.Any) (idl.Any, error) {
+	return r.invoke(ctx, op, args, true, true)
 }
 
 // InvokeOneway performs a fire-and-forget request (no reply is read).
 func (r *ObjectRef) InvokeOneway(op string, args ...idl.Any) error {
-	_, err := r.invoke(context.Background(), op, args, false)
+	_, err := r.invoke(context.Background(), op, args, false, false)
 	return err
 }
 
 // InvokeOnewayCtx is InvokeOneway with a caller context (see InvokeCtx).
 func (r *ObjectRef) InvokeOnewayCtx(ctx context.Context, op string, args ...idl.Any) error {
-	_, err := r.invoke(ctx, op, args, false)
+	_, err := r.invoke(ctx, op, args, false, false)
 	return err
 }
 
@@ -58,7 +69,7 @@ func (r *ObjectRef) InvokeOnewayCtx(ctx context.Context, op string, args ...idl.
 // entries travel in the GIOP request header (or are handed to the target
 // adapter directly on the colocated fast path, so a colocated hop is
 // observationally identical to a socket hop).
-func (r *ObjectRef) invoke(ctx context.Context, op string, args []idl.Any, expectReply bool) (idl.Any, error) {
+func (r *ObjectRef) invoke(ctx context.Context, op string, args []idl.Any, expectReply, idempotent bool) (idl.Any, error) {
 	o := r.orb
 	target, colocated := o.colocatedTarget(r.ior.Addr())
 	cis := o.clientInterceptors()
@@ -84,15 +95,129 @@ func (r *ObjectRef) invoke(ctx context.Context, op string, args []idl.Any, expec
 	var err error
 	if colocated {
 		o.Stats.ColocatedCalls.Add(1)
+		if cs := callStatsFrom(ctx); cs != nil {
+			cs.Attempts.Add(1)
+		}
 		result, err = target.dispatchIncoming(ctx, r.ior.Key(), op, args, svcCtxs, "colocated")
 	} else {
 		o.Stats.IIOPCalls.Add(1)
-		result, err = o.pool.roundTrip(r.ior, op, args, expectReply, svcCtxs)
+		result, err = o.callRemote(ctx, r.ior, op, args, expectReply, svcCtxs, idempotent)
 	}
 	for i := len(cis) - 1; i >= 0; i-- {
 		cis[i].ReceiveReply(ri, err)
 	}
 	return result, err
+}
+
+// CallStats accumulates per-call transport telemetry for every invocation
+// issued under one context (see WithCallStats). The query layer uses it to
+// report how many attempts a coalition member's sub-query cost.
+type CallStats struct {
+	// Attempts counts transport attempts (dials/exchanges, colocated
+	// dispatches included); retries and breaker rejections each add one.
+	Attempts atomic.Int32
+}
+
+type callStatsKey struct{}
+
+// WithCallStats derives a context whose ORB invocations record into the
+// returned CallStats.
+func WithCallStats(ctx context.Context) (context.Context, *CallStats) {
+	cs := &CallStats{}
+	return context.WithValue(ctx, callStatsKey{}, cs), cs
+}
+
+func callStatsFrom(ctx context.Context) *CallStats {
+	cs, _ := ctx.Value(callStatsKey{}).(*CallStats)
+	return cs
+}
+
+// retryable reports whether an error is transport-class (the endpoint may
+// simply be flaky or restarting) as opposed to an application or protocol
+// outcome that would recur identically.
+func retryable(err error) bool {
+	se, ok := err.(*SystemException)
+	return ok && se.Name == ExcCommFailure
+}
+
+// isTransportFailure classifies an outcome for the circuit breaker: only
+// COMM_FAILURE counts against an endpoint's health.
+func isTransportFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	se, ok := err.(*SystemException)
+	return ok && se.Name == ExcCommFailure
+}
+
+// callRemote drives one logical socket invocation through the breaker and
+// retry machinery. Non-idempotent calls make exactly one transport attempt;
+// idempotent ones retry transport-class failures up to Options.Retry's
+// budget with exponential backoff and full jitter. The breaker is consulted
+// before every attempt and fed the outcome of every attempt that reached
+// the wire.
+func (o *ORB) callRemote(ctx context.Context, ior *IOR, op string, args []idl.Any, expectReply bool, svcCtxs []giop.ServiceContext, idempotent bool) (idl.Any, error) {
+	addr := ior.Addr()
+	cs := callStatsFrom(ctx)
+	policy := o.opts.Retry.withDefaults()
+	maxAttempts := 1
+	if idempotent && expectReply && o.opts.Retry.MaxAttempts > 1 {
+		maxAttempts = o.opts.Retry.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			o.Stats.Retries.Add(1)
+			if err := sleepBackoff(ctx, policy, attempt); err != nil {
+				break // context ended while backing off
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			lastErr = &SystemException{Name: ExcCommFailure, Detail: "context: " + err.Error()}
+			break
+		}
+		if cs != nil {
+			cs.Attempts.Add(1)
+		}
+		if o.breakers != nil {
+			if err := o.breakers.allow(addr); err != nil {
+				// Failed fast without touching the endpoint; a later attempt
+				// may land on the half-open probe, so keep retrying.
+				lastErr = err
+				continue
+			}
+		}
+		result, err := o.pool.roundTrip(ctx, ior, op, args, expectReply, svcCtxs)
+		if o.breakers != nil {
+			o.breakers.record(addr, isTransportFailure(err))
+		}
+		if err == nil {
+			return result, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			break
+		}
+	}
+	return idl.Null(), lastErr
+}
+
+// sleepBackoff waits out the exponential-backoff window before retry attempt
+// n (full jitter: uniform in (0, window]), or returns early when ctx ends.
+func sleepBackoff(ctx context.Context, policy RetryPolicy, attempt int) error {
+	window := policy.BaseBackoff << (attempt - 1)
+	if window > policy.MaxBackoff || window <= 0 {
+		window = policy.MaxBackoff
+	}
+	d := time.Duration(rand.Int63n(int64(window))) + 1
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Locate asks the target adapter whether the object exists, using a GIOP
@@ -102,7 +227,7 @@ func (r *ObjectRef) Locate() (bool, error) {
 		_, found := target.lookupServant(r.ior.Key())
 		return found, nil
 	}
-	return r.orb.pool.locate(r.ior)
+	return r.orb.pool.locate(context.Background(), r.ior)
 }
 
 // maxPipelinePerConn is the in-flight depth at which the pool prefers
@@ -330,9 +455,18 @@ func (p *connPool) get(addr string) (*muxConn, error) {
 	}
 	p.mu.Unlock()
 
+	inj := p.orb.injector()
+	if inj != nil {
+		if err := inj.dialFault(addr); err != nil {
+			return nil, err
+		}
+	}
 	nc, err := net.DialTimeout("tcp", addr, p.orb.opts.DialTimeout)
 	if err != nil {
 		return nil, &SystemException{Name: ExcCommFailure, Detail: fmt.Sprintf("dial %s: %v", addr, err)}
+	}
+	if inj != nil {
+		nc = inj.wrap(addr, nc)
 	}
 	c := &muxConn{
 		pool:    p,
@@ -411,11 +545,30 @@ func (p *connPool) closeAll() {
 	}
 }
 
+// callDeadline computes the per-exchange timeout: the smaller of the
+// configured CallTimeout and the context deadline's remaining budget. An
+// already-expired deadline yields a tiny positive timeout so the exchange
+// fails fast through the normal timeout path instead of hanging.
+func (p *connPool) callDeadline(ctx context.Context) time.Duration {
+	timeout := p.orb.opts.CallTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			remaining = time.Nanosecond
+		}
+		if timeout <= 0 || remaining < timeout {
+			timeout = remaining
+		}
+	}
+	return timeout
+}
+
 // roundTrip sends one GIOP Request and (when expectReply) awaits the Reply.
 // If the chosen connection was poisoned before the request could be written,
 // it retries once on a fresh connection. svcCtxs are the service context
-// entries (interceptor-added) carried in the request header.
-func (p *connPool) roundTrip(ior *IOR, op string, args []idl.Any, expectReply bool, svcCtxs []giop.ServiceContext) (idl.Any, error) {
+// entries (interceptor-added) carried in the request header. The context
+// deadline, when tighter than Options.CallTimeout, bounds the exchange.
+func (p *connPool) roundTrip(ctx context.Context, ior *IOR, op string, args []idl.Any, expectReply bool, svcCtxs []giop.ServiceContext) (idl.Any, error) {
 	addr := ior.Addr()
 	order := p.orb.wireOrder()
 	for attempt := 0; ; attempt++ {
@@ -435,7 +588,7 @@ func (p *connPool) roundTrip(ior *IOR, op string, args []idl.Any, expectReply bo
 		}).Marshal(e)
 		idl.MarshalAnys(e, args)
 		msg := &giop.Message{Type: giop.MsgRequest, Order: order, Body: e.Bytes()}
-		r, err := c.call(reqID, msg, expectReply, p.orb.opts.CallTimeout)
+		r, err := c.call(reqID, msg, expectReply, p.callDeadline(ctx))
 		if err != nil {
 			if pe, poisoned := err.(*errConnPoisoned); poisoned {
 				if attempt == 0 {
@@ -488,7 +641,7 @@ func decodeReply(r *demuxedReply) (idl.Any, error) {
 
 // locate performs a GIOP LocateRequest round trip over the same multiplexed
 // connection invocations use; wire stats are accounted like any other call.
-func (p *connPool) locate(ior *IOR) (bool, error) {
+func (p *connPool) locate(ctx context.Context, ior *IOR) (bool, error) {
 	addr := ior.Addr()
 	order := p.orb.wireOrder()
 	for attempt := 0; ; attempt++ {
@@ -500,7 +653,7 @@ func (p *connPool) locate(ior *IOR) (bool, error) {
 		e := giop.NewBodyEncoder(order)
 		(&giop.LocateRequestHeader{RequestID: reqID, ObjectKey: ior.ObjectKey}).Marshal(e)
 		msg := &giop.Message{Type: giop.MsgLocateRequest, Order: order, Body: e.Bytes()}
-		r, err := c.call(reqID, msg, true, p.orb.opts.CallTimeout)
+		r, err := c.call(reqID, msg, true, p.callDeadline(ctx))
 		if err != nil {
 			if pe, poisoned := err.(*errConnPoisoned); poisoned {
 				if attempt == 0 {

@@ -1,0 +1,161 @@
+package orb
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultPlan describes transport faults to inject on this ORB's client-side
+// IIOP path: failed dials, added reply latency, silently dropped request
+// frames, and mid-stream connection resets. Injection is deterministic for a
+// given seed and call sequence, so chaos tests are reproducible. A plan only
+// affects socket invocations; the colocated fast path bypasses the transport
+// and therefore the plan.
+//
+// Plans are JSON-serialisable so a node process can load one from its config
+// file or a -chaos flag.
+type FaultPlan struct {
+	// Seed feeds the plan's private PRNG. Zero selects seed 1, keeping the
+	// zero value deterministic too.
+	Seed int64 `json:"seed"`
+	// Rules are matched in order against the endpoint being contacted; the
+	// first matching rule applies. An Addr of "" matches every endpoint.
+	Rules []FaultRule `json:"rules"`
+}
+
+// FaultRule is the faults injected for one endpoint.
+type FaultRule struct {
+	// Addr is the exact "host:port" the rule applies to; "" matches all.
+	Addr string `json:"addr"`
+	// FailFirst fails this many dials to the endpoint before letting one
+	// through — deterministic, independent of the PRNG. Tests use it to
+	// exercise retry ("dead for the first N attempts, then recovers").
+	FailFirst int `json:"fail_first"`
+	// FailConnect is the probability (0..1) that a dial fails outright,
+	// applied after FailFirst is exhausted. 1 makes the endpoint unreachable.
+	FailConnect float64 `json:"fail_connect"`
+	// LatencyMS is added to every read from the endpoint, delaying replies
+	// (a slow or congested member). Milliseconds, for JSON friendliness.
+	LatencyMS int `json:"latency_ms"`
+	// Drop is the probability that an outbound request frame is silently
+	// swallowed — the classic lost-datagram failure; the caller only recovers
+	// through its deadline.
+	Drop float64 `json:"drop"`
+	// Reset is the probability that the connection is torn down (RST-style)
+	// just before an outbound frame is written.
+	Reset float64 `json:"reset"`
+}
+
+// rule returns the first rule matching addr, or nil.
+func (p *FaultPlan) rule(addr string) *FaultRule {
+	for i := range p.Rules {
+		if p.Rules[i].Addr == "" || p.Rules[i].Addr == addr {
+			return &p.Rules[i]
+		}
+	}
+	return nil
+}
+
+// faultInjector applies a FaultPlan. The PRNG and the per-endpoint dial
+// counters sit behind one mutex; the injected sleep happens outside it.
+type faultInjector struct {
+	injected *Stats // FaultsInjected counter lives here
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plan  FaultPlan
+	dials map[string]int
+}
+
+func newFaultInjector(plan FaultPlan, stats *Stats) *faultInjector {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &faultInjector{
+		injected: stats,
+		rng:      rand.New(rand.NewSource(seed)),
+		plan:     plan,
+		dials:    make(map[string]int),
+	}
+}
+
+// roll draws one Bernoulli sample under the injector's seeded PRNG.
+func (fi *faultInjector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.rng.Float64() < p
+}
+
+// dialFault decides whether the next dial to addr fails, returning the
+// injected error or nil.
+func (fi *faultInjector) dialFault(addr string) error {
+	r := fi.plan.rule(addr)
+	if r == nil {
+		return nil
+	}
+	fi.mu.Lock()
+	n := fi.dials[addr]
+	fi.dials[addr] = n + 1
+	failFirst := n < r.FailFirst
+	var failProb bool
+	if !failFirst && r.FailConnect > 0 {
+		failProb = r.FailConnect >= 1 || fi.rng.Float64() < r.FailConnect
+	}
+	fi.mu.Unlock()
+	if failFirst || failProb {
+		fi.injected.FaultsInjected.Add(1)
+		return &SystemException{Name: ExcCommFailure,
+			Detail: fmt.Sprintf("dial %s: injected connect failure", addr)}
+	}
+	return nil
+}
+
+// wrap decorates a freshly dialed connection with the faults of the matching
+// rule; connections to unmatched endpoints pass through untouched.
+func (fi *faultInjector) wrap(addr string, nc net.Conn) net.Conn {
+	r := fi.plan.rule(addr)
+	if r == nil || (r.LatencyMS <= 0 && r.Drop <= 0 && r.Reset <= 0) {
+		return nc
+	}
+	return &faultConn{Conn: nc, fi: fi, rule: *r}
+}
+
+// faultConn injects per-frame faults around a live net.Conn. Latency is
+// applied on the read path (delaying replies) rather than the write path, so
+// a slow endpoint stalls only its own demux loop — the caller's deadline
+// still bounds the wait, and writers to other endpoints are unaffected.
+type faultConn struct {
+	net.Conn
+	fi   *faultInjector
+	rule FaultRule
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.rule.LatencyMS > 0 {
+		time.Sleep(time.Duration(c.rule.LatencyMS) * time.Millisecond)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.fi.roll(c.rule.Reset) {
+		c.fi.injected.FaultsInjected.Add(1)
+		c.Conn.Close()
+		return 0, fmt.Errorf("injected connection reset")
+	}
+	if c.fi.roll(c.rule.Drop) {
+		c.fi.injected.FaultsInjected.Add(1)
+		return len(p), nil // frame swallowed; the caller's deadline recovers
+	}
+	return c.Conn.Write(p)
+}

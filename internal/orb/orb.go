@@ -52,6 +52,10 @@ type Stats struct {
 	OnewayRequests atomic.Int64
 	InFlight       atomic.Int64 // client requests currently awaiting a reply
 	MaxInFlight    atomic.Int64 // high-water mark of InFlight
+	Retries        atomic.Int64 // transparent client retries of idempotent calls
+	BreakerTrips   atomic.Int64 // circuit transitions into the open state
+	BreakerRejects atomic.Int64 // calls failed fast by an open breaker
+	FaultsInjected atomic.Int64 // faults injected by the ORB's FaultPlan
 }
 
 // StatsSnapshot is a plain-value copy of Stats, safe to serialize (it is the
@@ -70,6 +74,10 @@ type StatsSnapshot struct {
 	OnewayRequests int64 `json:"oneway_requests"`
 	InFlight       int64 `json:"in_flight"`
 	MaxInFlight    int64 `json:"max_in_flight"`
+	Retries        int64 `json:"retries"`
+	BreakerTrips   int64 `json:"breaker_trips"`
+	BreakerRejects int64 `json:"breaker_rejects"`
+	FaultsInjected int64 `json:"faults_injected"`
 }
 
 // Snapshot loads every counter atomically (field by field; see the Stats
@@ -89,6 +97,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		OnewayRequests: s.OnewayRequests.Load(),
 		InFlight:       s.InFlight.Load(),
 		MaxInFlight:    s.MaxInFlight.Load(),
+		Retries:        s.Retries.Load(),
+		BreakerTrips:   s.BreakerTrips.Load(),
+		BreakerRejects: s.BreakerRejects.Load(),
+		FaultsInjected: s.FaultsInjected.Load(),
 	}
 }
 
@@ -128,6 +140,42 @@ type Options struct {
 	// concurrent requests; the pool only opens another when all existing
 	// connections to the endpoint are pipeline-saturated.
 	MaxIdlePerHost int
+	// Retry bounds transparent retries of idempotent invocations (see
+	// ObjectRef.InvokeIdempotent). The zero value disables retries.
+	Retry RetryPolicy
+	// Breaker enables per-endpoint circuit breakers (closed/open/half-open).
+	// The zero value disables them.
+	Breaker BreakerPolicy
+	// Faults installs a fault-injection plan on the client IIOP path (chaos
+	// testing). nil injects nothing; SetFaultPlan swaps plans at runtime.
+	Faults *FaultPlan
+}
+
+// RetryPolicy bounds the transparent retry of idempotent client invocations.
+// Only transport-class failures (COMM_FAILURE) are retried, with exponential
+// backoff and full jitter between attempts; breaker rejections consume an
+// attempt without touching the endpoint, so the backoff can outlast the
+// breaker's cooldown and land on its half-open probe.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Values <= 1 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the cap of the first backoff window (default 10ms);
+	// the window doubles each attempt. The actual sleep is uniform in
+	// (0, window] — full jitter.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff window (default 500ms).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	return p
 }
 
 // wireOrder returns the CDR byte order this ORB's clients emit.
@@ -153,6 +201,12 @@ type ORB struct {
 	pool *connPool
 
 	interceptors interceptorRegistry
+
+	// breakers is nil unless Options.Breaker enables circuit breaking.
+	breakers *breakerSet
+	// faults holds the active fault injector (nil = no injection); swapped
+	// atomically by SetFaultPlan so chaos can start and stop at runtime.
+	faults atomic.Pointer[faultInjector]
 
 	Stats Stats
 
@@ -184,7 +238,36 @@ func New(opts Options) *ORB {
 		closed:   make(chan struct{}),
 	}
 	o.pool = newConnPool(o)
+	if opts.Breaker.Threshold > 0 {
+		o.breakers = newBreakerSet(opts.Breaker, &o.Stats)
+	}
+	if opts.Faults != nil {
+		o.faults.Store(newFaultInjector(*opts.Faults, &o.Stats))
+	}
 	return o
+}
+
+// SetFaultPlan installs (or, with nil, removes) the client-side fault
+// injection plan at runtime. In-flight calls keep the injector they started
+// with; new dials see the new plan.
+func (o *ORB) SetFaultPlan(plan *FaultPlan) {
+	if plan == nil {
+		o.faults.Store(nil)
+		return
+	}
+	o.faults.Store(newFaultInjector(*plan, &o.Stats))
+}
+
+// injector returns the active fault injector, or nil.
+func (o *ORB) injector() *faultInjector { return o.faults.Load() }
+
+// BreakerSnapshot reports the state of every endpoint breaker (empty when
+// breakers are disabled); the node binary publishes it under /debug/metrics.
+func (o *ORB) BreakerSnapshot() map[string]BreakerState {
+	if o.breakers == nil {
+		return map[string]BreakerState{}
+	}
+	return o.breakers.snapshot()
 }
 
 // Product reports the ORB product name.

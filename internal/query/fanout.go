@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -22,6 +23,14 @@ func defaultFanOut() int {
 // workers <= 0 selects the default width; workers == 1 degenerates to a
 // plain serial loop (the pre-parallel behaviour, kept for benchmarking).
 func fanOut(n, workers int, fn func(int)) {
+	fanOutCtx(context.Background(), n, workers, fn)
+}
+
+// fanOutCtx is fanOut under a caller context: once the context ends, no
+// further indices are handed out — in-flight calls finish (they observe the
+// same context through their own plumbing), but undispatched work is skipped.
+// Callers detect skipped indices by their untouched result slots.
+func fanOutCtx(ctx context.Context, n, workers int, fn func(int)) {
 	if n == 0 {
 		return
 	}
@@ -33,6 +42,9 @@ func fanOut(n, workers int, fn func(int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -48,8 +60,13 @@ func fanOut(n, workers int, fn func(int)) {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()

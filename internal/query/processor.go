@@ -2,10 +2,12 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/codb"
 	"repro/internal/gateway"
@@ -39,6 +41,53 @@ type Response struct {
 	DocHTML    string
 	Result     *gateway.Result
 	Translated string // native query produced by the wrapper
+
+	// Members reports the per-member outcome of every sub-call the statement
+	// fanned out (coalition query decomposition, discovery peer probes) —
+	// healthy and failed members alike, in member order.
+	Members []MemberStatus
+	// Partial is true when some fanned-out member failed or was skipped but
+	// enough members answered for the statement to return a degraded result.
+	Partial bool
+}
+
+// MemberStatus is the outcome of one coalition member's (or discovery
+// peer's) sub-call within a statement.
+type MemberStatus struct {
+	Member   string        // member database name
+	Ref      string        // reference contacted (ISI or co-database; "" = local)
+	Attempts int           // transport attempts, transparent retries included
+	Latency  time.Duration // wall-clock time this member's sub-call took
+	ErrClass string        // "", "timeout", "comm", "breaker", "system", "user", "skipped"
+	Err      string        // error message ("" on success)
+}
+
+// OK reports whether the member answered.
+func (m MemberStatus) OK() bool { return m.ErrClass == "" }
+
+// classifyErr buckets a member failure for MemberStatus.ErrClass.
+func classifyErr(err error) string {
+	if err == nil {
+		return ""
+	}
+	var se *orb.SystemException
+	if errors.As(err, &se) {
+		switch se.Name {
+		case orb.ExcTransient:
+			return "breaker"
+		case orb.ExcCommFailure:
+			if strings.Contains(se.Detail, "timed out") || strings.Contains(se.Detail, "context") {
+				return "timeout"
+			}
+			return "comm"
+		default:
+			return "system"
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return "timeout"
+	}
+	return "user"
 }
 
 // Config wires a query processor to its node.
@@ -60,6 +109,15 @@ type Config struct {
 	// maintenance). 0 selects the default width (2×GOMAXPROCS, min 8);
 	// 1 forces the serial pre-parallel behaviour.
 	FanOut int
+	// MinMembers is the quorum for coalition query decomposition: the
+	// statement succeeds (possibly partially) when at least this many members
+	// answer, and fails otherwise. 0 means 1 — any surviving member yields a
+	// partial result.
+	MinMembers int
+	// MemberTimeout bounds each member's sub-call (and each discovery peer
+	// probe) so one slow member cannot hold the whole fan-out. 0 leaves only
+	// the caller's context deadline and the ORB's CallTimeout.
+	MemberTimeout time.Duration
 }
 
 // Processor is the query layer of one WebFINDIT node.
@@ -80,6 +138,14 @@ func New(cfg Config) (*Processor, error) {
 // compare serial and parallel decomposition.
 func (p *Processor) SetFanOut(n int) { p.cfg.FanOut = n }
 
+// SetMemberPolicy adjusts the degradation policy (see Config.MinMembers and
+// Config.MemberTimeout). It must not be called concurrently with running
+// sessions.
+func (p *Processor) SetMemberPolicy(minMembers int, memberTimeout time.Duration) {
+	p.cfg.MinMembers = minMembers
+	p.cfg.MemberTimeout = memberTimeout
+}
+
 // Session is one user's interactive context: the coalition they are
 // connected to and the source they last selected. Sessions are not safe for
 // concurrent use by multiple callers, but statements internally fan out to
@@ -94,7 +160,8 @@ type Session struct {
 
 	codbClient *codb.Client // co-database answering for the current coalition
 	traceMu    sync.Mutex
-	trace      []string
+	trace      []TraceEvent
+	stmtStart  time.Time // start of the running statement (guards under traceMu)
 }
 
 // NewSession opens a session rooted at the node's local co-database.
@@ -102,9 +169,21 @@ func (p *Processor) NewSession() *Session {
 	return &Session{p: p, codbClient: p.cfg.Local}
 }
 
+// TraceEvent is one entry of a session's layer trace: which layer spoke,
+// what it did, and how far into the statement it happened.
+type TraceEvent struct {
+	Layer   string // "query", "communication", "meta-data", "data"
+	Msg     string
+	Elapsed time.Duration // time since the statement started
+}
+
+// String renders the event in the classic "<layer> layer: <msg>" form the
+// browser UI and the shell print.
+func (e TraceEvent) String() string { return e.Layer + " layer: " + e.Msg }
+
 // Trace returns the accumulated layer trace (query, communication,
 // meta-data, data) and clears it.
-func (s *Session) Trace() []string {
+func (s *Session) Trace() []TraceEvent {
 	s.traceMu.Lock()
 	defer s.traceMu.Unlock()
 	t := s.trace
@@ -115,7 +194,18 @@ func (s *Session) Trace() []string {
 func (s *Session) tracef(layer, format string, args ...any) {
 	s.traceMu.Lock()
 	defer s.traceMu.Unlock()
-	s.trace = append(s.trace, layer+" layer: "+fmt.Sprintf(format, args...))
+	var elapsed time.Duration
+	if !s.stmtStart.IsZero() {
+		elapsed = time.Since(s.stmtStart)
+	}
+	s.trace = append(s.trace, TraceEvent{Layer: layer, Msg: fmt.Sprintf(format, args...), Elapsed: elapsed})
+}
+
+// markStmtStart anchors TraceEvent.Elapsed for the statement about to run.
+func (s *Session) markStmtStart() {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	s.stmtStart = time.Now()
 }
 
 // current returns the co-database client serving the session's context.
@@ -126,32 +216,43 @@ func (s *Session) current() *codb.Client {
 	return s.p.cfg.Local
 }
 
-// Execute parses and runs one WebTassili statement.
-func (s *Session) Execute(src string) (*Response, error) {
-	return s.ExecuteCtx(context.Background(), src)
-}
-
-// ExecuteCtx is Execute under a caller context: every ORB invocation the
+// Execute parses and runs one WebTassili statement. Every ORB invocation the
 // statement triggers — metadata lookups, peer probes, coalition fan-out,
-// gateway/ISI calls — joins the caller's trace.
-func (s *Session) ExecuteCtx(ctx context.Context, src string) (*Response, error) {
+// gateway/ISI calls — joins the caller's trace, and the context's deadline
+// and cancellation bound the statement.
+func (s *Session) Execute(ctx context.Context, src string) (*Response, error) {
+	s.markStmtStart()
 	stmt, err := wtl.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	s.tracef("query", "parsed %T", stmt)
-	return s.ExecuteStmtCtx(ctx, stmt)
+	return s.execTimed(ctx, stmt)
 }
 
-// ExecuteStmt runs one parsed statement.
-func (s *Session) ExecuteStmt(stmt wtl.Stmt) (*Response, error) {
-	return s.ExecuteStmtCtx(context.Background(), stmt)
+// ExecuteCtx parses and runs one WebTassili statement.
+//
+// Deprecated: Execute is context-first now; call it directly.
+func (s *Session) ExecuteCtx(ctx context.Context, src string) (*Response, error) {
+	return s.Execute(ctx, src)
 }
 
-// ExecuteStmtCtx runs one parsed statement under a caller context. The whole
+// ExecuteStmt runs one parsed statement under a caller context. The whole
 // statement runs inside a "query:<StmtType>" span; every stage below parents
 // onto it.
+func (s *Session) ExecuteStmt(ctx context.Context, stmt wtl.Stmt) (*Response, error) {
+	s.markStmtStart()
+	return s.execTimed(ctx, stmt)
+}
+
+// ExecuteStmtCtx runs one parsed statement.
+//
+// Deprecated: ExecuteStmt is context-first now; call it directly.
 func (s *Session) ExecuteStmtCtx(ctx context.Context, stmt wtl.Stmt) (*Response, error) {
+	return s.ExecuteStmt(ctx, stmt)
+}
+
+func (s *Session) execTimed(ctx context.Context, stmt wtl.Stmt) (*Response, error) {
 	ctx, sp := trace.StartSpan(ctx, "query:"+strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*wtl."))
 	resp, err := s.execStmt(ctx, stmt)
 	sp.End(err)
@@ -165,15 +266,15 @@ func (s *Session) execStmt(ctx context.Context, stmt wtl.Stmt) (*Response, error
 	case *wtl.Connect:
 		return s.execConnect(ctx, q)
 	case *wtl.DisplayCoalitions:
-		return s.execCoalitions(q)
+		return s.execCoalitions(ctx, q)
 	case *wtl.DisplayLinks:
-		return s.execLinks(q)
+		return s.execLinks(ctx, q)
 	case *wtl.DisplaySubClasses:
-		return s.execSubClasses(q)
+		return s.execSubClasses(ctx, q)
 	case *wtl.DisplayInstances:
 		return s.execInstances(ctx, q)
 	case *wtl.DisplayDocument:
-		return s.execDocument(q)
+		return s.execDocument(ctx, q)
 	case *wtl.DisplayAccessInfo:
 		return s.execAccessInfo(ctx, q)
 	case *wtl.DisplayInterface:
@@ -202,11 +303,16 @@ func (s *Session) execStmt(ctx context.Context, stmt wtl.Stmt) (*Response, error
 // first, then local service links, then the coalitions/links known to the
 // other members of the local coalitions.
 func (s *Session) execFind(ctx context.Context, q *wtl.FindCoalitions) (*Response, error) {
-	leads, err := s.p.resolveTopic(ctx, s, q.Topic)
+	leads, probes, err := s.p.resolveTopic(ctx, s, q.Topic)
 	if err != nil {
 		return nil, err
 	}
-	resp := &Response{Stmt: q, Leads: leads}
+	resp := &Response{Stmt: q, Leads: leads, Members: probes}
+	for _, m := range probes {
+		if !m.OK() {
+			resp.Partial = true
+		}
+	}
 	if len(leads) == 0 {
 		resp.Text = fmt.Sprintf("No coalitions found for information %q.", q.Topic)
 		return resp, nil
@@ -232,42 +338,45 @@ func fullScore(leads []Lead) bool {
 	return false
 }
 
-// resolveTopic runs the resolution algorithm and returns leads. Stages
-// escalate (local coalitions, then local service links, then coalition
-// peers) until some stage produces a full match; weaker partial matches from
-// earlier stages are kept as additional leads for the user to inspect. Each
-// stage runs in its own span, and stage 3's fan-out opens a span per peer
-// probed, so the trace shows where discovery time goes.
-func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) ([]Lead, error) {
+// resolveTopic runs the resolution algorithm and returns leads plus the
+// per-peer outcome of the stage-3 probes. Stages escalate (local coalitions,
+// then local service links, then coalition peers) until some stage produces
+// a full match; weaker partial matches from earlier stages are kept as
+// additional leads for the user to inspect. Each stage runs in its own span,
+// and stage 3's fan-out opens a span per peer probed, so the trace shows
+// where discovery time goes. An unreachable or slow peer does not fail the
+// statement: its status records the error class and discovery degrades to
+// the peers that answered.
+func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) ([]Lead, []MemberStatus, error) {
 	local := p.cfg.Local
 	var leads []Lead
 
 	// Stage 1: coalitions in the local co-database.
 	s.tracef("communication", "invoke find_coalitions(%q) on local co-database", topic)
 	st1Ctx, st1 := trace.StartSpan(ctx, "query.stage:local-coalitions")
-	matches, err := local.FindCoalitionsCtx(st1Ctx, topic)
+	matches, err := local.FindCoalitions(st1Ctx, topic)
 	st1.End(err)
 	if err != nil {
-		return nil, fmt.Errorf("query: local co-database: %w", err)
+		return nil, nil, fmt.Errorf("query: local co-database: %w", err)
 	}
 	s.tracef("meta-data", "local co-database scored %d coalition(s)", len(matches))
 	leads = append(leads, leadsFrom(matches, "")...)
 	if fullScore(leads) {
-		return sortLeads(leads), nil
+		return sortLeads(leads), nil, nil
 	}
 
 	// Stage 2: service links known locally.
 	s.tracef("communication", "invoke find_links(%q) on local co-database", topic)
 	st2Ctx, st2 := trace.StartSpan(ctx, "query.stage:local-links")
-	links, err := local.FindLinksCtx(st2Ctx, topic)
+	links, err := local.FindLinks(st2Ctx, topic)
 	st2.End(err)
 	if err != nil {
-		return nil, fmt.Errorf("query: local co-database links: %w", err)
+		return nil, nil, fmt.Errorf("query: local co-database links: %w", err)
 	}
 	s.tracef("meta-data", "local co-database scored %d service link(s)", len(links))
 	leads = append(leads, leadsFrom(links, "")...)
 	if fullScore(leads) {
-		return sortLeads(leads), nil
+		return sortLeads(leads), nil, nil
 	}
 
 	// Stage 3: ask the other members of the local coalitions whether they
@@ -279,9 +388,9 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 	// keeping lead ordering identical to the serial algorithm.
 	st3Ctx, st3 := trace.StartSpan(ctx, "query.stage:coalition-peers")
 	defer st3.End(nil)
-	memberOf, err := local.MemberOf()
+	memberOf, err := local.MemberOf(st3Ctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	type peerProbe struct {
 		name  string
@@ -293,7 +402,7 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 	var probes []*peerProbe
 	probed := map[string]bool{}
 	for _, coalition := range memberOf {
-		members, err := local.InstancesCtx(st3Ctx, coalition)
+		members, err := local.Instances(st3Ctx, coalition)
 		if err != nil {
 			continue
 		}
@@ -311,16 +420,43 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 			probes = append(probes, &peerProbe{name: m.Name, ref: m.CoDBRef, peer: peer})
 		}
 	}
-	fanOut(len(probes), p.cfg.FanOut, func(i int) {
+	statuses := make([]MemberStatus, len(probes))
+	for i, pr := range probes {
+		statuses[i] = MemberStatus{Member: pr.name, Ref: pr.ref,
+			ErrClass: "skipped", Err: "not dispatched"}
+	}
+	fanOutCtx(st3Ctx, len(probes), p.cfg.FanOut, func(i int) {
 		pr := probes[i]
+		st := &statuses[i]
 		probeCtx, psp := trace.StartSpan(st3Ctx, "query.probe:"+pr.name)
-		if pm, err := pr.peer.FindCoalitionsCtx(probeCtx, topic); err == nil {
+		if mt := p.cfg.MemberTimeout; mt > 0 {
+			var cancel context.CancelFunc
+			probeCtx, cancel = context.WithTimeout(probeCtx, mt)
+			defer cancel()
+		}
+		probeCtx, cs := orb.WithCallStats(probeCtx)
+		start := time.Now()
+		var perr error
+		if pm, err := pr.peer.FindCoalitions(probeCtx, topic); err == nil {
 			pr.coals = pm
+		} else {
+			perr = err
 		}
-		if pl, err := pr.peer.FindLinksCtx(probeCtx, topic); err == nil {
+		if pl, err := pr.peer.FindLinks(probeCtx, topic); err == nil {
 			pr.links = pl
+		} else if perr == nil {
+			perr = err
 		}
-		psp.End(nil)
+		st.Latency = time.Since(start)
+		st.Attempts = int(cs.Attempts.Load())
+		if perr != nil {
+			st.ErrClass = classifyErr(perr)
+			st.Err = perr.Error()
+			s.tracef("communication", "peer co-database of %s failed (%s): %v", pr.name, st.ErrClass, perr)
+		} else {
+			st.ErrClass, st.Err = "", ""
+		}
+		psp.End(perr)
 	})
 	out := leads
 	seen := map[string]bool{}
@@ -350,7 +486,7 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 		}
 	}
 	s.tracef("meta-data", "coalition peers contributed %d lead(s)", len(out)-len(leads))
-	return sortLeads(out), nil
+	return sortLeads(out), statuses, nil
 }
 
 // sortLeads orders leads by descending score, then name, for stable output.
@@ -403,16 +539,16 @@ func (s *Session) execConnect(ctx context.Context, q *wtl.Connect) (*Response, e
 // through a service link, or through a coalition peer.
 func (p *Processor) coalitionEntry(ctx context.Context, s *Session, coalition string) (*codb.Client, error) {
 	local := p.cfg.Local
-	if hasCoalition(local, coalition) {
+	if hasCoalition(ctx, local, coalition) {
 		s.tracef("meta-data", "coalition %s found in local co-database", coalition)
 		return local, nil
 	}
 	// A service link naming the coalition as target may carry a reference.
-	links, err := local.Links()
+	links, err := local.Links(ctx)
 	if err == nil {
 		for _, l := range links {
 			if strings.EqualFold(l.To, coalition) && l.CoDBRef != "" {
-				if peer, err := p.codbByRef(l.CoDBRef); err == nil && hasCoalition(peer, coalition) {
+				if peer, err := p.codbByRef(l.CoDBRef); err == nil && hasCoalition(ctx, peer, coalition) {
 					s.tracef("communication", "entering coalition %s through service link %s", coalition, l.Name)
 					return peer, nil
 				}
@@ -420,9 +556,9 @@ func (p *Processor) coalitionEntry(ctx context.Context, s *Session, coalition st
 		}
 	}
 	// Ask coalition peers.
-	memberOf, _ := local.MemberOf()
+	memberOf, _ := local.MemberOf(ctx)
 	for _, c := range memberOf {
-		members, err := local.InstancesCtx(ctx, c)
+		members, err := local.Instances(ctx, c)
 		if err != nil {
 			continue
 		}
@@ -434,18 +570,18 @@ func (p *Processor) coalitionEntry(ctx context.Context, s *Session, coalition st
 			if err != nil {
 				continue
 			}
-			if hasCoalition(peer, coalition) {
+			if hasCoalition(ctx, peer, coalition) {
 				s.tracef("communication", "entering coalition %s through peer %s", coalition, m.Name)
 				return peer, nil
 			}
 			// One more hop: the peer's links may carry the reference.
-			plinks, err := peer.Links()
+			plinks, err := peer.Links(ctx)
 			if err != nil {
 				continue
 			}
 			for _, l := range plinks {
 				if strings.EqualFold(l.To, coalition) && l.CoDBRef != "" {
-					if far, err := p.codbByRef(l.CoDBRef); err == nil && hasCoalition(far, coalition) {
+					if far, err := p.codbByRef(l.CoDBRef); err == nil && hasCoalition(ctx, far, coalition) {
 						s.tracef("communication", "entering coalition %s through peer %s link %s",
 							coalition, m.Name, l.Name)
 						return far, nil
@@ -457,8 +593,8 @@ func (p *Processor) coalitionEntry(ctx context.Context, s *Session, coalition st
 	return nil, fmt.Errorf("query: no entry point found for coalition %s", coalition)
 }
 
-func hasCoalition(c *codb.Client, coalition string) bool {
-	names, err := c.Coalitions()
+func hasCoalition(ctx context.Context, c *codb.Client, coalition string) bool {
+	names, err := c.Coalitions(ctx)
 	if err != nil {
 		return false
 	}
@@ -471,9 +607,9 @@ func hasCoalition(c *codb.Client, coalition string) bool {
 }
 
 // execCoalitions lists the coalitions of the session's current co-database.
-func (s *Session) execCoalitions(q *wtl.DisplayCoalitions) (*Response, error) {
+func (s *Session) execCoalitions(ctx context.Context, q *wtl.DisplayCoalitions) (*Response, error) {
 	s.tracef("communication", "invoke coalitions()")
-	names, err := s.current().Coalitions()
+	names, err := s.current().Coalitions(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -485,9 +621,9 @@ func (s *Session) execCoalitions(q *wtl.DisplayCoalitions) (*Response, error) {
 }
 
 // execLinks lists the service links of the session's current co-database.
-func (s *Session) execLinks(q *wtl.DisplayLinks) (*Response, error) {
+func (s *Session) execLinks(ctx context.Context, q *wtl.DisplayLinks) (*Response, error) {
 	s.tracef("communication", "invoke links()")
-	links, err := s.current().Links()
+	links, err := s.current().Links(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -505,9 +641,9 @@ func (s *Session) execLinks(q *wtl.DisplayLinks) (*Response, error) {
 	return &Response{Stmt: q, Names: names, Text: b.String()}, nil
 }
 
-func (s *Session) execSubClasses(q *wtl.DisplaySubClasses) (*Response, error) {
+func (s *Session) execSubClasses(ctx context.Context, q *wtl.DisplaySubClasses) (*Response, error) {
 	s.tracef("communication", "invoke subclasses(%q)", q.Class)
-	subs, err := s.current().SubCoalitions(q.Class, true)
+	subs, err := s.current().SubCoalitions(ctx, q.Class, true)
 	if err != nil {
 		return nil, err
 	}
@@ -520,7 +656,7 @@ func (s *Session) execSubClasses(q *wtl.DisplaySubClasses) (*Response, error) {
 
 func (s *Session) execInstances(ctx context.Context, q *wtl.DisplayInstances) (*Response, error) {
 	s.tracef("communication", "invoke instances(%q)", q.Class)
-	members, err := s.current().InstancesCtx(ctx, q.Class)
+	members, err := s.current().Instances(ctx, q.Class)
 	if err != nil {
 		return nil, err
 	}
@@ -535,9 +671,9 @@ func (s *Session) execInstances(ctx context.Context, q *wtl.DisplayInstances) (*
 	return &Response{Stmt: q, Sources: members, Names: names, Text: text}, nil
 }
 
-func (s *Session) execDocument(q *wtl.DisplayDocument) (*Response, error) {
+func (s *Session) execDocument(ctx context.Context, q *wtl.DisplayDocument) (*Response, error) {
 	s.tracef("communication", "invoke document(%q)", q.Instance)
-	url, html, err := s.current().Document(q.Instance)
+	url, html, err := s.current().Document(ctx, q.Instance)
 	if err != nil {
 		return nil, err
 	}
@@ -548,7 +684,7 @@ func (s *Session) execDocument(q *wtl.DisplayDocument) (*Response, error) {
 
 func (s *Session) execAccessInfo(ctx context.Context, q *wtl.DisplayAccessInfo) (*Response, error) {
 	s.tracef("communication", "invoke access_info(%q)", q.Instance)
-	d, err := s.current().AccessInfoCtx(ctx, q.Instance)
+	d, err := s.current().AccessInfo(ctx, q.Instance)
 	if err != nil {
 		return nil, err
 	}
@@ -565,7 +701,7 @@ func (s *Session) execAccessInfo(ctx context.Context, q *wtl.DisplayAccessInfo) 
 
 func (s *Session) execInterface(ctx context.Context, q *wtl.DisplayInterface) (*Response, error) {
 	s.tracef("communication", "invoke access_info(%q)", q.Instance)
-	d, err := s.current().AccessInfoCtx(ctx, q.Instance)
+	d, err := s.current().AccessInfo(ctx, q.Instance)
 	if err != nil {
 		return nil, err
 	}
@@ -620,14 +756,14 @@ func attrNameMatches(have, want string) bool {
 
 func (s *Session) execSearchType(ctx context.Context, q *wtl.SearchType) (*Response, error) {
 	client := s.current()
-	coalitions, err := client.Coalitions()
+	coalitions, err := client.Coalitions(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var hits []*codb.SourceDescriptor
 	seen := map[string]bool{}
 	for _, c := range coalitions {
-		members, err := client.InstancesCtx(ctx, c)
+		members, err := client.Instances(ctx, c)
 		if err != nil {
 			continue
 		}
@@ -668,10 +804,10 @@ func (s *Session) lookupSource(ctx context.Context, name string) (*codb.SourceDe
 	if name == "" {
 		return nil, fmt.Errorf("query: no source selected; name one with On or Display Access Information first")
 	}
-	if d, err := s.current().AccessInfoCtx(ctx, name); err == nil {
+	if d, err := s.current().AccessInfo(ctx, name); err == nil {
 		return d, nil
 	}
-	d, err := s.p.cfg.Local.AccessInfoCtx(ctx, name)
+	d, err := s.p.cfg.Local.AccessInfo(ctx, name)
 	if err != nil {
 		return nil, fmt.Errorf("query: source %s not found in current context: %w", name, err)
 	}
@@ -726,7 +862,7 @@ func (s *Session) execFuncQuery(ctx context.Context, q *wtl.FuncQuery) (*Respons
 	}
 	defer conn.Close()
 	s.tracef("data", "executing on %s (%s): %s", d.Name, d.Engine, native)
-	res, err := gateway.QueryContext(ctx, conn, native)
+	res, err := conn.Query(ctx, native)
 	if err != nil {
 		return nil, fmt.Errorf("query: %s: %w", d.Name, err)
 	}
@@ -738,16 +874,23 @@ func (s *Session) execFuncQuery(ctx context.Context, q *wtl.FuncQuery) (*Respons
 // coalition that exports the function, merging the result sets with a
 // leading "source" column — the paper's query decomposition across a
 // cluster of databases sharing a topic. Translation runs serially (so
-// translation errors surface in member order), then the per-member
-// sub-queries execute in parallel through a bounded worker pool; rows are
-// merged back in member order, so the merged result is deterministic and
-// end-to-end latency tracks the slowest member rather than the member count.
+// translation errors, which would recur identically, surface in member
+// order), then the per-member sub-queries execute in parallel through a
+// bounded worker pool, each under its own MemberTimeout slice.
+//
+// The fan-out degrades gracefully: a member that is unreachable, slow past
+// its deadline, or circuit-broken does not abort the statement. Every
+// member's outcome — attempts, latency, error class — lands in
+// Response.Members; rows from the members that answered are merged back in
+// member order (so the merged result is deterministic), and Response.Partial
+// marks the degradation. The statement only fails when fewer than
+// Config.MinMembers members answer.
 func (s *Session) execCoalitionFuncQuery(ctx context.Context, q *wtl.FuncQuery) (*Response, error) {
 	entry, err := s.p.coalitionEntry(ctx, s, q.Source)
 	if err != nil {
 		return nil, err
 	}
-	members, err := entry.InstancesCtx(ctx, q.Source)
+	members, err := entry.Instances(ctx, q.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -779,37 +922,79 @@ func (s *Session) execCoalitionFuncQuery(ctx context.Context, q *wtl.FuncQuery) 
 		return nil, fmt.Errorf("query: no member of coalition %s exports function %s", q.Source, q.Function)
 	}
 	results := make([]*gateway.Result, len(parts))
-	errs := make([]error, len(parts))
-	fanOut(len(parts), s.p.cfg.FanOut, func(i int) {
+	statuses := make([]MemberStatus, len(parts))
+	for i, pt := range parts {
+		statuses[i] = MemberStatus{Member: pt.d.Name, Ref: pt.d.ISIRef,
+			ErrClass: "skipped", Err: "not dispatched"}
+	}
+	fanOutCtx(ctx, len(parts), s.p.cfg.FanOut, func(i int) {
 		pt := parts[i]
+		st := &statuses[i]
 		// One span per coalition member, so the fan-out's critical path —
 		// the slowest member — is visible in the trace.
 		mctx, msp := trace.StartSpan(ctx, "query.member:"+pt.d.Name)
 		msp.SetAttr("engine", pt.d.Engine)
-		defer func() { msp.End(errs[i]) }()
+		if mt := s.p.cfg.MemberTimeout; mt > 0 {
+			var cancel context.CancelFunc
+			mctx, cancel = context.WithTimeout(mctx, mt)
+			defer cancel()
+		}
+		mctx, cs := orb.WithCallStats(mctx)
+		start := time.Now()
+		var err error
+		defer func() {
+			st.Latency = time.Since(start)
+			st.Attempts = int(cs.Attempts.Load())
+			if err != nil {
+				st.ErrClass = classifyErr(err)
+				st.Err = err.Error()
+				s.tracef("data", "member %s failed (%s): %v", pt.d.Name, st.ErrClass, err)
+			} else {
+				st.ErrClass, st.Err = "", ""
+			}
+			msp.End(err)
+		}()
 		conn, err := s.p.openSource(s, pt.d)
 		if err != nil {
-			errs[i] = err
 			return
 		}
-		res, err := gateway.QueryContext(mctx, conn, pt.native)
-		conn.Close()
+		defer conn.Close()
+		var res *gateway.Result
+		res, err = conn.Query(mctx, pt.native)
 		if err != nil {
-			errs[i] = fmt.Errorf("query: %s: %w", pt.d.Name, err)
+			err = fmt.Errorf("query: %s: %w", pt.d.Name, err)
 			return
 		}
 		results[i] = res
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	answered := 0
+	var firstErr error
+	for i := range statuses {
+		if statuses[i].OK() {
+			answered++
+		} else if firstErr == nil {
+			firstErr = errors.New(statuses[i].Err)
 		}
+	}
+	quorum := s.p.cfg.MinMembers
+	if quorum <= 0 {
+		quorum = 1
+	}
+	if answered < quorum {
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
+		return nil, fmt.Errorf("query: coalition %s: %d of %d member(s) answered, need %d: %w",
+			q.Source, answered, len(parts), quorum, firstErr)
 	}
 	merged := &gateway.Result{}
 	var translations []string
 	for i, pt := range parts {
-		res := results[i]
 		translations = append(translations, pt.d.Name+": "+pt.native)
+		res := results[i]
+		if res == nil {
+			continue // failed member: reported in statuses, not merged
+		}
 		if len(merged.Columns) == 0 {
 			merged.Columns = append([]string{"source"}, res.Columns...)
 		}
@@ -817,11 +1002,17 @@ func (s *Session) execCoalitionFuncQuery(ctx context.Context, q *wtl.FuncQuery) 
 			merged.Rows = append(merged.Rows, append([]idl.Any{idl.String(pt.d.Name)}, row...))
 		}
 	}
+	text := merged.Format()
+	if answered < len(parts) {
+		text += fmt.Sprintf("(partial result: %d of %d member(s) answered)\n", answered, len(parts))
+	}
 	return &Response{
 		Stmt:       q,
 		Result:     merged,
 		Translated: strings.Join(translations, "\n"),
-		Text:       merged.Format(),
+		Text:       text,
+		Members:    statuses,
+		Partial:    answered < len(parts),
 	}, nil
 }
 
@@ -836,7 +1027,7 @@ func (s *Session) execNativeQuery(ctx context.Context, q *wtl.NativeQuery) (*Res
 	}
 	defer conn.Close()
 	s.tracef("data", "executing on %s (%s): %s", d.Name, d.Engine, q.Text)
-	res, err := gateway.QueryContext(ctx, conn, q.Text)
+	res, err := conn.Query(ctx, q.Text)
 	if err != nil {
 		return nil, fmt.Errorf("query: %s: %w", d.Name, err)
 	}
@@ -887,7 +1078,7 @@ func (s *Session) execCreateLink(q *wtl.CreateLink) (*Response, error) {
 // known to the entry client, deduplicated by reference. The clients are
 // resolved through a bounded worker pool and returned in member order.
 func (p *Processor) memberCoDBs(ctx context.Context, entry *codb.Client, coalition string) ([]*codb.Client, error) {
-	members, err := entry.InstancesCtx(ctx, coalition)
+	members, err := entry.Instances(ctx, coalition)
 	if err != nil {
 		return nil, err
 	}
@@ -929,7 +1120,7 @@ func (s *Session) execJoin(ctx context.Context, q *wtl.JoinCoalition) (*Response
 	if err != nil {
 		return nil, err
 	}
-	members, err := entry.InstancesCtx(ctx, q.Coalition)
+	members, err := entry.Instances(ctx, q.Coalition)
 	if err != nil {
 		return nil, err
 	}
@@ -951,7 +1142,7 @@ func (s *Session) execJoin(ctx context.Context, q *wtl.JoinCoalition) (*Response
 	advErrs := make([]error, len(peers))
 	fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
 		s.tracef("communication", "advertising %s into a member co-database", s.p.cfg.Home)
-		advErrs[i] = peers[i].AdvertiseCtx(ctx, q.Coalition, home)
+		advErrs[i] = peers[i].Advertise(ctx, q.Coalition, home)
 	})
 	var joinErr error
 	for _, err := range advErrs {
@@ -963,7 +1154,7 @@ func (s *Session) execJoin(ctx context.Context, q *wtl.JoinCoalition) (*Response
 	if joinErr != nil {
 		fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
 			if advErrs[i] == nil {
-				peers[i].RemoveMemberCtx(ctx, q.Coalition, s.p.cfg.Home)
+				peers[i].RemoveMember(ctx, q.Coalition, s.p.cfg.Home)
 			}
 		})
 		return nil, joinErr
@@ -971,7 +1162,7 @@ func (s *Session) execJoin(ctx context.Context, q *wtl.JoinCoalition) (*Response
 	// Local replication.
 	if cd := s.p.cfg.LocalCoDB; cd != nil {
 		if !cd.HasCoalition(q.Coalition) {
-			desc, syns, _ := entry.CoalitionInfo(q.Coalition)
+			desc, syns, _ := entry.CoalitionInfo(ctx, q.Coalition)
 			if err := cd.DefineCoalition(q.Coalition, "", desc, syns...); err != nil {
 				return nil, err
 			}
@@ -1002,7 +1193,7 @@ func (s *Session) execLeave(ctx context.Context, q *wtl.LeaveCoalition) (*Respon
 	}
 	removedAt := make([]bool, len(peers))
 	fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
-		if err := peers[i].RemoveMemberCtx(ctx, q.Coalition, s.p.cfg.Home); err == nil {
+		if err := peers[i].RemoveMember(ctx, q.Coalition, s.p.cfg.Home); err == nil {
 			removedAt[i] = true
 		}
 	})

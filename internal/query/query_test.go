@@ -1,6 +1,7 @@
 package query_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -151,17 +152,17 @@ func TestSessionStateAndSourceSelection(t *testing.T) {
 	_, a, _ := twoNodeFixture(t)
 	s := a.NewSession()
 	// No source selected yet: function query without On fails.
-	if _, err := s.Execute(`V(R.K, (R.K = "a"));`); err == nil {
+	if _, err := s.Execute(context.Background(), `V(R.K, (R.K = "a"));`); err == nil {
 		t.Error("function query without source accepted")
 	}
 	// Select the source via access info; subsequent queries use it.
-	if _, err := s.Execute("Display Access Information of Instance Alpha;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Display Access Information of Instance Alpha;"); err != nil {
 		t.Fatal(err)
 	}
 	if s.Source != "Alpha" {
 		t.Fatalf("session source = %q", s.Source)
 	}
-	resp, err := s.Execute(`V(R.K, (R.K = "b"));`)
+	resp, err := s.Execute(context.Background(), `V(R.K, (R.K = "b"));`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSessionStateAndSourceSelection(t *testing.T) {
 	}
 	// Display Document also selects the source.
 	s2 := a.NewSession()
-	if _, err := s2.Execute("Display Documentation of Instance Beta;"); err != nil {
+	if _, err := s2.Execute(context.Background(), "Display Documentation of Instance Beta;"); err != nil {
 		t.Fatal(err)
 	}
 	if s2.Source != "Beta" {
@@ -181,7 +182,7 @@ func TestSessionStateAndSourceSelection(t *testing.T) {
 func TestDisplayInterface(t *testing.T) {
 	_, a, _ := twoNodeFixture(t)
 	s := a.NewSession()
-	resp, err := s.Execute("Display Interface of Instance Alpha;")
+	resp, err := s.Execute(context.Background(), "Display Interface of Instance Alpha;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestCrossNodeFunctionQuery(t *testing.T) {
 	// From Beta, query Alpha's exported function: descriptor comes from the
 	// shared coalition; data crosses the wire via Alpha's ISI.
 	s := b.NewSession()
-	resp, err := s.Execute(`V(R.K, (R.K = "a")) On Alpha;`)
+	resp, err := s.Execute(context.Background(), `V(R.K, (R.K = "a")) On Alpha;`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestCrossNodeFunctionQuery(t *testing.T) {
 func TestTraceAccumulationAndReset(t *testing.T) {
 	_, a, _ := twoNodeFixture(t)
 	s := a.NewSession()
-	if _, err := s.Execute("Find Coalitions With Information alpha records;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Find Coalitions With Information alpha records;"); err != nil {
 		t.Fatal(err)
 	}
 	first := s.Trace()
@@ -225,21 +226,21 @@ func TestTraceAccumulationAndReset(t *testing.T) {
 func TestResponseTextRendering(t *testing.T) {
 	_, a, _ := twoNodeFixture(t)
 	s := a.NewSession()
-	resp, err := s.Execute("Find Coalitions With Information alpha records;")
+	resp, err := s.Execute(context.Background(), "Find Coalitions With Information alpha records;")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(resp.Text, "Records") || !strings.Contains(resp.Text, "score") {
 		t.Errorf("find text: %s", resp.Text)
 	}
-	resp, err = s.Execute("Find Coalitions With Information zebra xylophone;")
+	resp, err = s.Execute(context.Background(), "Find Coalitions With Information zebra xylophone;")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(resp.Text, "No coalitions found") {
 		t.Errorf("miss text: %s", resp.Text)
 	}
-	resp, err = s.Execute("Display Instances of Class Records;")
+	resp, err = s.Execute(context.Background(), "Display Instances of Class Records;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,10 +263,10 @@ func TestMaintenanceRequiresLocalCoDB(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := p.NewSession()
-	if _, err := s.Execute(`Create Coalition X Description "d";`); err == nil {
+	if _, err := s.Execute(context.Background(), `Create Coalition X Description "d";`); err == nil {
 		t.Error("maintenance without LocalCoDB accepted")
 	}
-	if _, err := s.Execute("Join Coalition Records;"); err == nil {
+	if _, err := s.Execute(context.Background(), "Join Coalition Records;"); err == nil {
 		t.Error("join without home descriptor accepted")
 	}
 }
@@ -273,7 +274,7 @@ func TestMaintenanceRequiresLocalCoDB(t *testing.T) {
 func TestExecuteParseError(t *testing.T) {
 	_, a, _ := twoNodeFixture(t)
 	s := a.NewSession()
-	if _, err := s.Execute("Frobnicate the database;"); err == nil {
+	if _, err := s.Execute(context.Background(), "Frobnicate the database;"); err == nil {
 		t.Error("nonsense statement accepted")
 	}
 }
@@ -281,24 +282,24 @@ func TestExecuteParseError(t *testing.T) {
 func TestConnectAndBrowseInPackage(t *testing.T) {
 	_, a, b := twoNodeFixture(t)
 	s := a.NewSession()
-	if _, err := s.Execute("Connect To Coalition Records;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Connect To Coalition Records;"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := s.Execute("Display Coalitions;")
+	resp, err := s.Execute(context.Background(), "Display Coalitions;")
 	if err != nil || len(resp.Names) != 1 || resp.Names[0] != "Records" {
 		t.Errorf("coalitions = %v, %v", resp.Names, err)
 	}
-	resp, err = s.Execute("Display SubClasses of Class Records;")
+	resp, err = s.Execute(context.Background(), "Display SubClasses of Class Records;")
 	if err != nil || len(resp.Names) != 0 {
 		t.Errorf("subclasses = %v, %v", resp.Names, err)
 	}
-	resp, err = s.Execute("Display Service Links;")
+	resp, err = s.Execute(context.Background(), "Display Service Links;")
 	if err != nil || len(resp.Names) != 0 {
 		t.Errorf("links = %v, %v", resp.Names, err)
 	}
 	// Connect from the other node too (its local co-database has it).
 	s2 := b.NewSession()
-	if _, err := s2.Execute("Connect To Coalition Records;"); err != nil {
+	if _, err := s2.Execute(context.Background(), "Connect To Coalition Records;"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -306,11 +307,11 @@ func TestConnectAndBrowseInPackage(t *testing.T) {
 func TestSearchTypeInPackage(t *testing.T) {
 	_, a, _ := twoNodeFixture(t)
 	s := a.NewSession()
-	resp, err := s.Execute("Search Type R;")
+	resp, err := s.Execute(context.Background(), "Search Type R;")
 	if err != nil || len(resp.Sources) != 1 || resp.Sources[0].Name != "Alpha" {
 		t.Fatalf("search = %v, %v", resp.Names, err)
 	}
-	resp, err = s.Execute("Search Type Missing;")
+	resp, err = s.Execute(context.Background(), "Search Type Missing;")
 	if err != nil || len(resp.Sources) != 0 {
 		t.Errorf("miss search = %v, %v", resp.Names, err)
 	}
@@ -319,7 +320,7 @@ func TestSearchTypeInPackage(t *testing.T) {
 func TestCoalitionFanOutInPackage(t *testing.T) {
 	_, a, _ := twoNodeFixture(t)
 	s := a.NewSession()
-	resp, err := s.Execute(`V(R.K, (R.K = "a")) On Coalition Records;`)
+	resp, err := s.Execute(context.Background(), `V(R.K, (R.K = "a")) On Coalition Records;`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestCoalitionFanOutInPackage(t *testing.T) {
 	if len(resp.Result.Rows) != 1 || resp.Result.Rows[0][0].Str != "Alpha" {
 		t.Errorf("fan-out rows = %+v", resp.Result.Rows)
 	}
-	if _, err := s.Execute(`V(R.K) On Coalition NoSuchCoalition;`); err == nil {
+	if _, err := s.Execute(context.Background(), `V(R.K) On Coalition NoSuchCoalition;`); err == nil {
 		t.Error("fan-out over unknown coalition accepted")
 	}
 }
@@ -335,7 +336,7 @@ func TestCoalitionFanOutInPackage(t *testing.T) {
 func TestNativeQueryInPackage(t *testing.T) {
 	_, a, _ := twoNodeFixture(t)
 	s := a.NewSession()
-	resp, err := s.Execute(`Query Beta Using Native "SELECT x FROM s";`)
+	resp, err := s.Execute(context.Background(), `Query Beta Using Native "SELECT x FROM s";`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +344,7 @@ func TestNativeQueryInPackage(t *testing.T) {
 		t.Errorf("rows = %+v", resp.Result.Rows)
 	}
 	// Engine errors propagate with the source name.
-	_, err = s.Execute(`Query Beta Using Native "SELECT nope FROM s";`)
+	_, err = s.Execute(context.Background(), `Query Beta Using Native "SELECT nope FROM s";`)
 	if err == nil || !strings.Contains(err.Error(), "Beta") {
 		t.Errorf("error = %v", err)
 	}
@@ -352,14 +353,14 @@ func TestNativeQueryInPackage(t *testing.T) {
 func TestCreateLinkAndDisplay(t *testing.T) {
 	_, a, _ := twoNodeFixture(t)
 	s := a.NewSession()
-	if _, err := s.Execute(`Create Service Link A_to_B From Database Alpha To Database Beta Information "beta records";`); err != nil {
+	if _, err := s.Execute(context.Background(), `Create Service Link A_to_B From Database Alpha To Database Beta Information "beta records";`); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := s.Execute("Display Links;")
+	resp, err := s.Execute(context.Background(), "Display Links;")
 	if err != nil || len(resp.Names) != 1 || resp.Names[0] != "A_to_B" {
 		t.Errorf("links = %v, %v", resp.Names, err)
 	}
-	if _, err := s.Execute(`Create Service Link A_to_B From Database Alpha To Database Beta;`); err == nil {
+	if _, err := s.Execute(context.Background(), `Create Service Link A_to_B From Database Alpha To Database Beta;`); err == nil {
 		t.Error("duplicate link accepted")
 	}
 }
@@ -380,7 +381,7 @@ func TestJoinLeaveInPackage(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := c.NewSession()
-	if _, err := s.Execute("Join Coalition Records;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Join Coalition Records;"); err != nil {
 		t.Fatal(err)
 	}
 	members, _ := a.CoDB.Members("Records")
@@ -391,17 +392,17 @@ func TestJoinLeaveInPackage(t *testing.T) {
 	if !c.CoDB.HasCoalition("Records") {
 		t.Error("join did not replicate locally")
 	}
-	if _, err := s.Execute("Join Coalition Records;"); err == nil {
+	if _, err := s.Execute(context.Background(), "Join Coalition Records;"); err == nil {
 		t.Error("double join accepted")
 	}
-	if _, err := s.Execute("Leave Coalition Records;"); err != nil {
+	if _, err := s.Execute(context.Background(), "Leave Coalition Records;"); err != nil {
 		t.Fatal(err)
 	}
 	members, _ = a.CoDB.Members("Records")
 	if len(members) != 2 {
 		t.Errorf("members after leave = %d", len(members))
 	}
-	if _, err := s.Execute("Leave Coalition NoSuch;"); err == nil {
+	if _, err := s.Execute(context.Background(), "Leave Coalition NoSuch;"); err == nil {
 		t.Error("leave unknown coalition accepted")
 	}
 }
