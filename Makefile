@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify race bench test build vet ci fmt-check cover bench-smoke chaos
+.PHONY: verify race bench test build vet ci fmt-check cover bench-smoke chaos bench-json bench-json-smoke
 
 # verify is the tier-1 gate: build + vet + full test suite.
 verify:
@@ -46,6 +46,17 @@ race:
 # bench regenerates the benchmark series recorded in EXPERIMENTS.md.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json runs the root benchmark series and commits the numbers as a
+# machine-readable artifact (BENCH_PR4.json) via cmd/benchjson.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+
+# bench-json-smoke exercises the same pipeline at one iteration per
+# benchmark, discarding the output: cheap insurance that the parser keeps up
+# with the bench format.
+bench-json-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson > /dev/null
 
 build:
 	$(GO) build ./...

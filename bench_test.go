@@ -21,6 +21,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/giop"
 	"repro/internal/idl"
+	"repro/internal/mdcache"
 	"repro/internal/medworld"
 	"repro/internal/oodb"
 	"repro/internal/orb"
@@ -76,9 +77,11 @@ func BenchmarkGIOPRoundTrip(b *testing.B) {
 		if err := giop.Write(&buf, msg); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := giop.Read(&buf); err != nil {
+		m, err := giop.Read(&buf)
+		if err != nil {
 			b.Fatal(err)
 		}
+		m.Release()
 	}
 }
 
@@ -554,6 +557,112 @@ func BenchmarkCoalitionFanOutFaults(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---- B6: discovery with the federation metadata cache ----
+
+// buildDiscoveryFed wires a home co-database whose coalition lists n peer
+// members, each peer's co-database served from its own ORB — so stage-3
+// discovery probes are genuine IIOP round trips, the traffic the metadata
+// cache absorbs.
+func buildDiscoveryFed(b *testing.B, n int, cache *mdcache.Cache) *query.Processor {
+	b.Helper()
+	o := orb.New(orb.Options{Product: orb.Orbix})
+	if err := o.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(o.Shutdown)
+	home := codb.New("disc-home")
+	if err := home.DefineCoalition("DiscTopic", "", "synthetic discovery members"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		po := orb.New(orb.Options{Product: orb.Orbix})
+		if err := po.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(po.Shutdown)
+		name := fmt.Sprintf("disc-%02d", i)
+		peer := codb.New(name)
+		if err := peer.DefineCoalition(fmt.Sprintf("Peer-%02d", i), "", "peer records"); err != nil {
+			b.Fatal(err)
+		}
+		ior, err := po.Activate("CoDatabase/"+name, codb.NewServant(peer))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := &codb.SourceDescriptor{
+			Name:    name,
+			Engine:  core.EngineMSQL,
+			CoDBRef: orb.Stringify(ior),
+		}
+		if err := home.AddMember("DiscTopic", d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	codbIOR, err := o.Activate("CoDatabase/disc-home", codb.NewServant(home))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := query.New(query.Config{
+		ORB:       o,
+		Home:      "disc-home",
+		Local:     codb.NewClient(o.Resolve(codbIOR)),
+		LocalCoDB: home,
+		Cache:     cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkDiscoveryCached measures repeat-topic discovery over 8 remote
+// coalition peers: uncached (every resolve re-probes every peer over IIOP),
+// cached (after one warm-up the resolve is answered from the metadata
+// cache), and cached with concurrent sessions (hits plus singleflight
+// coalescing under contention).
+func BenchmarkDiscoveryCached(b *testing.B) {
+	const peers = 8
+	const q = "Find Coalitions With Information zebra;"
+	run := func(b *testing.B, cache *mdcache.Cache) {
+		p := buildDiscoveryFed(b, peers, cache)
+		s := p.NewSession()
+		// Warm-up resolve: populates the cache (when present) and faults in
+		// the peer connections for both variants.
+		if _, err := s.Execute(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Execute(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+			s.Trace() // drain the layer trace, as an interactive caller would
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, nil) })
+	b.Run("cached", func(b *testing.B) {
+		run(b, mdcache.New(mdcache.Options{TTL: time.Hour}))
+	})
+	b.Run("cached-parallel", func(b *testing.B) {
+		p := buildDiscoveryFed(b, peers, mdcache.New(mdcache.Options{TTL: time.Hour}))
+		if _, err := p.NewSession().Execute(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			s := p.NewSession()
+			for pb.Next() {
+				if _, err := s.Execute(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+				s.Trace()
+			}
+		})
+	})
 }
 
 // ---- B1: resolution latency vs federation size, two-level vs flat ----

@@ -28,6 +28,9 @@
 //	  "breaker_cooldown_ms": 1000,         // open-state cooldown before the half-open probe
 //	  "min_members": 1,                    // coalition-query quorum (0 = 1)
 //	  "member_timeout_ms": 500,            // per-member fan-out deadline (0 = none)
+//	  "mdcache_ttl_ms": 2000,              // metadata cache positive TTL (0 = default, -1 disables the cache)
+//	  "mdcache_neg_ttl_ms": 250,           // metadata cache negative TTL (0 = default)
+//	  "mdcache_max_entries": 4096,         // metadata cache LRU bound (0 = default)
 //	  "chaos": { "seed": 1, "rules": [...] }, // optional fault-injection plan
 //	  "interface": [ { "name": "T", "functions": [ ... ] } ]
 //	}
@@ -75,12 +78,18 @@ type nodeFile struct {
 	// (/debug/trace/slow) and logged. 0 disables the slow-call log.
 	SlowCallMS int `json:"slow_call_ms"`
 	// Fault-tolerance policy for outbound IIOP calls and coalition fan-out.
-	CallTimeoutMS     int                 `json:"call_timeout_ms"`
-	RetryAttempts     int                 `json:"retry_attempts"`
-	BreakerThreshold  int                 `json:"breaker_threshold"`
-	BreakerCooldownMS int                 `json:"breaker_cooldown_ms"`
-	MinMembers        int                 `json:"min_members"`
-	MemberTimeoutMS   int                 `json:"member_timeout_ms"`
+	CallTimeoutMS     int `json:"call_timeout_ms"`
+	RetryAttempts     int `json:"retry_attempts"`
+	BreakerThreshold  int `json:"breaker_threshold"`
+	BreakerCooldownMS int `json:"breaker_cooldown_ms"`
+	MinMembers        int `json:"min_members"`
+	MemberTimeoutMS   int `json:"member_timeout_ms"`
+	// Federation metadata cache knobs. TTL -1 disables the cache entirely;
+	// 0 keeps the built-in defaults (2s positive, 250ms negative, 4096
+	// entries). Stats are published at /debug/metrics under "mdcache".
+	MDCacheTTLMS      int                 `json:"mdcache_ttl_ms"`
+	MDCacheNegTTLMS   int                 `json:"mdcache_neg_ttl_ms"`
+	MDCacheMaxEntries int                 `json:"mdcache_max_entries"`
 	Chaos             *orb.FaultPlan      `json:"chaos"`
 	Interface         []codb.ExportedType `json:"interface"`
 	// InterfaceWTL declares the exported interface in the paper's WebTassili
@@ -186,9 +195,17 @@ func main() {
 		Location:        cfg.Location,
 		Interface:       iface,
 		Schema:          schema,
+
+		DisableMDCache:    cfg.MDCacheTTLMS < 0,
+		MDCacheTTL:        time.Duration(max(cfg.MDCacheTTLMS, 0)) * time.Millisecond,
+		MDCacheNegTTL:     time.Duration(cfg.MDCacheNegTTLMS) * time.Millisecond,
+		MDCacheMaxEntries: cfg.MDCacheMaxEntries,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if node.MDCache != nil {
+		tracer.Publish("mdcache", func() any { return node.MDCache.Snapshot() })
 	}
 	if cfg.MinMembers > 0 || cfg.MemberTimeoutMS > 0 {
 		node.Processor.SetMemberPolicy(cfg.MinMembers,

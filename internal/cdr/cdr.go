@@ -79,6 +79,16 @@ func (e *Encoder) Order() ByteOrder { return e.order }
 // Reset discards all written data, retaining the buffer for reuse.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// ResetFor discards all written data and reconfigures the byte order and
+// alignment origin, retaining the buffer: the reuse hook for encoder pooling
+// (giop.AcquireBodyEncoder), where one scratch encoder serves messages of
+// differing orders over its lifetime.
+func (e *Encoder) ResetFor(order ByteOrder, offset int) {
+	e.buf = e.buf[:0]
+	e.order = order
+	e.base = offset
+}
+
 // align pads the stream with zero bytes until the next write position is a
 // multiple of n (relative to the alignment origin).
 func (e *Encoder) align(n int) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/oodb"
 )
@@ -27,6 +28,11 @@ type CoDatabase struct {
 	owner     string
 	db        *oodb.DB
 	ownerDesc *SourceDescriptor
+	// version is the monotonic schema version: every successful mutation of
+	// the coalition lattice, membership or link set bumps it. Remote caches
+	// compare it (via the servant's cheap version() op) to revalidate entries
+	// without refetching member lists.
+	version atomic.Uint64
 }
 
 // New creates a co-database for the named owner database and bootstraps the
@@ -83,6 +89,14 @@ func (cd *CoDatabase) Owner() string { return cd.owner }
 // browser layer and tests).
 func (cd *CoDatabase) DB() *oodb.DB { return cd.db }
 
+// Version returns the monotonic schema version. It starts at 0 for a fresh
+// (or restored) co-database and increases on every successful mutation of
+// coalitions, members or links.
+func (cd *CoDatabase) Version() uint64 { return cd.version.Load() }
+
+// bump records a schema mutation.
+func (cd *CoDatabase) bump() { cd.version.Add(1) }
+
 // reserved class names cannot be coalition names.
 func isReserved(name string) bool {
 	switch strings.ToLower(name) {
@@ -116,6 +130,9 @@ func (cd *CoDatabase) DefineCoalition(name, parent, description string, synonyms
 		"Description": description,
 		"Synonyms":    synonyms,
 	})
+	if err == nil {
+		cd.bump()
+	}
 	return err
 }
 
@@ -218,6 +235,9 @@ func (cd *CoDatabase) AddMember(coalition string, d *SourceDescriptor) error {
 		return fmt.Errorf("codb: %s is already a member of %s", d.Name, coalition)
 	}
 	_, err := cd.db.NewObject(coalition, descriptorAttrs(d))
+	if err == nil {
+		cd.bump()
+	}
 	return err
 }
 
@@ -240,7 +260,11 @@ func (cd *CoDatabase) RemoveMember(coalition, name string) error {
 	if o == nil {
 		return fmt.Errorf("codb: %s is not a member of %s", name, coalition)
 	}
-	return cd.db.Delete(o.ID())
+	if err := cd.db.Delete(o.ID()); err != nil {
+		return err
+	}
+	cd.bump()
+	return nil
 }
 
 // Members lists a coalition's member descriptors (including sub-coalition
@@ -273,7 +297,10 @@ func (cd *CoDatabase) Members(coalition string) ([]*SourceDescriptor, error) {
 // SetOwnerDescriptor records the owner database's own access information,
 // which the paper says every co-database stores regardless of coalition
 // membership.
-func (cd *CoDatabase) SetOwnerDescriptor(d *SourceDescriptor) { cd.ownerDesc = d }
+func (cd *CoDatabase) SetOwnerDescriptor(d *SourceDescriptor) {
+	cd.ownerDesc = d
+	cd.bump()
+}
 
 // OwnerDescriptor returns the owner's access information (nil if unset).
 func (cd *CoDatabase) OwnerDescriptor() *SourceDescriptor { return cd.ownerDesc }
@@ -328,8 +355,11 @@ func (cd *CoDatabase) DissolveCoalition(name string) error {
 	if o, _ := cd.db.SelectFirst(ClassCoalitionInfo, false, func(o *oodb.Object) bool {
 		return strings.EqualFold(o.String("Name"), name)
 	}); o != nil {
-		return cd.db.Set(o.ID(), "Description", "(dissolved)")
+		if err := cd.db.Set(o.ID(), "Description", "(dissolved)"); err != nil {
+			return err
+		}
 	}
+	cd.bump()
 	return nil
 }
 
@@ -357,6 +387,9 @@ func (cd *CoDatabase) AddLink(l *ServiceLink) error {
 		"InfoType":    l.InfoType,
 		"CoDBRef":     l.CoDBRef,
 	})
+	if err == nil {
+		cd.bump()
+	}
 	return err
 }
 
@@ -373,7 +406,11 @@ func (cd *CoDatabase) RemoveLink(name string) error {
 	if o == nil {
 		return fmt.Errorf("codb: no service link %s", name)
 	}
-	return cd.db.Delete(o.ID())
+	if err := cd.db.Delete(o.ID()); err != nil {
+		return err
+	}
+	cd.bump()
+	return nil
 }
 
 func objectToLink(o *oodb.Object) *ServiceLink {

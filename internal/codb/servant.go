@@ -15,6 +15,7 @@ var IDL = idl.MustParse(`
 module WebFINDIT {
     interface CoDatabase {
         string owner();
+        unsigned long long version();
         sequence<any> find_coalitions(in string topic);
         sequence<any> find_links(in string topic);
         sequence<any> coalitions();
@@ -73,6 +74,9 @@ func NewServant(cd *CoDatabase) orb.Servant {
 	}
 	on("owner", func(args []idl.Any) (idl.Any, error) {
 		return idl.String(cd.Owner()), nil
+	})
+	on("version", func(args []idl.Any) (idl.Any, error) {
+		return idl.Any{Kind: idl.KindULongLong, Int: int64(cd.Version())}, nil
 	})
 	on("find_coalitions", func(args []idl.Any) (idl.Any, error) {
 		matches := cd.FindCoalitions(args[0].Str)
@@ -229,28 +233,25 @@ func (c *Client) matches(ctx context.Context, op, topic string) ([]Match, error)
 	return out, nil
 }
 
+// Version returns the remote co-database's monotonic schema version. It is
+// the cheapest possible metadata exchange (an integer), which is what makes
+// cache revalidation worthwhile against refetching member lists.
+func (c *Client) Version(ctx context.Context) (uint64, error) {
+	v, err := c.ref.InvokeIdempotent(ctx, "version")
+	if err != nil {
+		return 0, err
+	}
+	return uint64(v.Int), nil
+}
+
 // FindCoalitions scores the remote co-database's coalitions against topic.
 func (c *Client) FindCoalitions(ctx context.Context, topic string) ([]Match, error) {
 	return c.matches(ctx, "find_coalitions", topic)
 }
 
-// FindCoalitionsCtx scores coalitions against topic.
-//
-// Deprecated: FindCoalitions is context-first now; call it directly.
-func (c *Client) FindCoalitionsCtx(ctx context.Context, topic string) ([]Match, error) {
-	return c.FindCoalitions(ctx, topic)
-}
-
 // FindLinks scores the remote co-database's service links against topic.
 func (c *Client) FindLinks(ctx context.Context, topic string) ([]Match, error) {
 	return c.matches(ctx, "find_links", topic)
-}
-
-// FindLinksCtx scores service links against topic.
-//
-// Deprecated: FindLinks is context-first now; call it directly.
-func (c *Client) FindLinksCtx(ctx context.Context, topic string) ([]Match, error) {
-	return c.FindLinks(ctx, topic)
 }
 
 // Coalitions lists the remote co-database's coalition classes.
@@ -297,13 +298,6 @@ func (c *Client) Instances(ctx context.Context, coalition string) ([]*SourceDesc
 	return out, nil
 }
 
-// InstancesCtx lists a coalition's member descriptors.
-//
-// Deprecated: Instances is context-first now; call it directly.
-func (c *Client) InstancesCtx(ctx context.Context, coalition string) ([]*SourceDescriptor, error) {
-	return c.Instances(ctx, coalition)
-}
-
 // CoalitionInfo fetches a coalition's description and synonyms.
 func (c *Client) CoalitionInfo(ctx context.Context, coalition string) (string, []string, error) {
 	v, err := c.ref.InvokeIdempotent(ctx, "coalition_info", idl.String(coalition))
@@ -321,13 +315,6 @@ func (c *Client) AccessInfo(ctx context.Context, source string) (*SourceDescript
 		return nil, err
 	}
 	return DescriptorFromAny(v)
-}
-
-// AccessInfoCtx fetches a source descriptor by database name.
-//
-// Deprecated: AccessInfo is context-first now; call it directly.
-func (c *Client) AccessInfoCtx(ctx context.Context, source string) (*SourceDescriptor, error) {
-	return c.AccessInfo(ctx, source)
 }
 
 // Document fetches a source's documentation URL and HTML body.
@@ -369,13 +356,6 @@ func (c *Client) Advertise(ctx context.Context, coalition string, d *SourceDescr
 	return err
 }
 
-// AdvertiseCtx adds a member descriptor to a remote coalition.
-//
-// Deprecated: Advertise is context-first now; call it directly.
-func (c *Client) AdvertiseCtx(ctx context.Context, coalition string, d *SourceDescriptor) error {
-	return c.Advertise(ctx, coalition, d)
-}
-
 // AddLink records a service link remotely.
 func (c *Client) AddLink(ctx context.Context, l *ServiceLink) error {
 	_, err := c.ref.InvokeCtx(ctx, "add_link", l.ToAny())
@@ -386,11 +366,4 @@ func (c *Client) AddLink(ctx context.Context, l *ServiceLink) error {
 func (c *Client) RemoveMember(ctx context.Context, coalition, source string) error {
 	_, err := c.ref.InvokeCtx(ctx, "remove_member", idl.String(coalition), idl.String(source))
 	return err
-}
-
-// RemoveMemberCtx withdraws a database from a remote coalition.
-//
-// Deprecated: RemoveMember is context-first now; call it directly.
-func (c *Client) RemoveMemberCtx(ctx context.Context, coalition, source string) error {
-	return c.RemoveMember(ctx, coalition, source)
 }

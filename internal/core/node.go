@@ -9,9 +9,11 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/codb"
 	"repro/internal/gateway"
+	"repro/internal/mdcache"
 	"repro/internal/oodb"
 	"repro/internal/orb"
 	"repro/internal/query"
@@ -53,6 +55,18 @@ type NodeConfig struct {
 	Schema string
 	// SeedObjects, for object engines, populates the fresh OO database.
 	SeedObjects func(*oodb.DB) error
+
+	// DisableMDCache turns off the federation metadata cache the node's
+	// query processor uses for coalition membership, source descriptors and
+	// peer discovery probes. The cache is on by default; only metadata (the
+	// co-database tier) is ever cached — data queries always hit the source.
+	DisableMDCache bool
+	// MDCacheTTL / MDCacheNegTTL / MDCacheMaxEntries override the cache
+	// defaults (2s positive TTL, 250ms negative TTL, 4096 entries) when
+	// positive; zero keeps the default.
+	MDCacheTTL        time.Duration
+	MDCacheNegTTL     time.Duration
+	MDCacheMaxEntries int
 }
 
 // Node is one running WebFINDIT participant.
@@ -65,6 +79,7 @@ type Node struct {
 	ISIIOR     *orb.IOR
 	CoDBIOR    *orb.IOR
 	Processor  *query.Processor
+	MDCache    *mdcache.Cache // nil when NodeConfig.DisableMDCache is set
 
 	isiConn gateway.Conn
 }
@@ -157,12 +172,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	resolveInterfaceTables(n)
 	n.CoDB.SetOwnerDescriptor(n.Descriptor)
 
+	if !cfg.DisableMDCache {
+		n.MDCache = mdcache.New(mdcache.Options{
+			TTL:        cfg.MDCacheTTL,
+			NegTTL:     cfg.MDCacheNegTTL,
+			MaxEntries: cfg.MDCacheMaxEntries,
+		})
+	}
 	n.Processor, err = query.New(query.Config{
 		ORB:            cfg.ORB,
 		Home:           cfg.Name,
 		HomeDescriptor: n.Descriptor,
 		Local:          codb.NewClient(cfg.ORB.Resolve(codbIOR)),
 		LocalCoDB:      n.CoDB,
+		Cache:          n.MDCache,
 	})
 	if err != nil {
 		return nil, err

@@ -110,13 +110,6 @@ func (c *RemoteConn) Query(ctx context.Context, q string) (*Result, error) {
 	return ResultFromAny(a)
 }
 
-// QueryCtx runs a query.
-//
-// Deprecated: Query is context-first now; call c.Query(ctx, q) directly.
-func (c *RemoteConn) QueryCtx(ctx context.Context, q string) (*Result, error) {
-	return c.Query(ctx, q)
-}
-
 // Exec implements Conn. Statements may mutate, so they are never retried
 // transparently.
 func (c *RemoteConn) Exec(ctx context.Context, q string) (*Result, error) {
@@ -128,13 +121,6 @@ func (c *RemoteConn) Exec(ctx context.Context, q string) (*Result, error) {
 		return nil, remapISIError(err)
 	}
 	return ResultFromAny(a)
-}
-
-// ExecCtx runs a statement.
-//
-// Deprecated: Exec is context-first now; call c.Exec(ctx, q) directly.
-func (c *RemoteConn) ExecCtx(ctx context.Context, q string) (*Result, error) {
-	return c.Exec(ctx, q)
 }
 
 // Begin is unsupported across the ISI boundary (as in the paper's prototype,

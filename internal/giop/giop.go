@@ -107,6 +107,54 @@ type Message struct {
 	Type  MsgType
 	Order cdr.ByteOrder
 	Body  []byte
+
+	// pooled marks messages allocated by Read from msgPool; Release returns
+	// them (body buffer included) for reuse by later reads.
+	pooled bool
+}
+
+// msgPool recycles Messages (and their body buffers) produced by Read, so
+// the mux read loops on both sides of a connection stop allocating a header
+// and a body per message.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// hdrPool recycles the 12-byte scratch header used by Read and writeFrame.
+var hdrPool = sync.Pool{New: func() any { return new([HeaderSize]byte) }}
+
+// Release returns a message obtained from Read to the pool. After Release
+// the message and its Body must not be touched; the next Read on any
+// connection may reuse them. Calling Release on a hand-built (non-Read)
+// message or a second time is a no-op. Anything decoded out of the body that
+// outlives the message must have been copied (the header unmarshals and the
+// IDL any-decoder do copy).
+func (m *Message) Release() {
+	if m == nil || !m.pooled {
+		return
+	}
+	m.pooled = false
+	m.Body = m.Body[:0]
+	msgPool.Put(m)
+}
+
+// encPool recycles CDR body encoders (their scratch buffers grow to the
+// working set's message size and stay).
+var encPool = sync.Pool{New: func() any { return cdr.NewEncoder(cdr.BigEndian) }}
+
+// AcquireBodyEncoder returns a pooled CDR encoder positioned for a message
+// body (alignment origin at the message start). Pass it back through
+// ReleaseBodyEncoder once the frame has been written; the encoder's buffer
+// is reused by later messages, so its Bytes must not be retained.
+func AcquireBodyEncoder(order cdr.ByteOrder) *cdr.Encoder {
+	e := encPool.Get().(*cdr.Encoder)
+	e.ResetFor(order, HeaderSize)
+	return e
+}
+
+// ReleaseBodyEncoder returns an encoder from AcquireBodyEncoder to the pool.
+func ReleaseBodyEncoder(e *cdr.Encoder) {
+	if e != nil {
+		encPool.Put(e)
+	}
 }
 
 // BodyDecoder returns a CDR decoder positioned at the start of the body with
@@ -139,14 +187,16 @@ func writeFrame(w io.Writer, m *Message) error {
 	if len(m.Body) > MaxMessageSize {
 		return fmt.Errorf("giop: message body %d exceeds limit", len(m.Body))
 	}
-	hdr := make([]byte, HeaderSize)
+	hdr := hdrPool.Get().(*[HeaderSize]byte)
 	copy(hdr[0:4], magic[:])
 	hdr[4] = Version[0]
 	hdr[5] = Version[1]
 	hdr[6] = byte(m.Order) // flags: bit 0 = byte order
 	hdr[7] = byte(m.Type)
 	putULong(hdr[8:12], uint32(len(m.Body)), m.Order)
-	if _, err := w.Write(hdr); err != nil {
+	_, err := w.Write(hdr[:])
+	hdrPool.Put(hdr)
+	if err != nil {
 		return fmt.Errorf("giop: write header: %w", err)
 	}
 	if len(m.Body) > 0 {
@@ -279,10 +329,13 @@ func (sw *SyncWriter) flusher() {
 	}
 }
 
-// Read reads one framed GIOP message.
+// Read reads one framed GIOP message. The returned message is pooled: pass
+// it to Release once everything needed from its body has been decoded (or
+// copied), and it will be reused by a later Read.
 func Read(r io.Reader) (*Message, error) {
-	hdr := make([]byte, HeaderSize)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	hdr := hdrPool.Get().(*[HeaderSize]byte)
+	defer hdrPool.Put(hdr)
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err // io.EOF passes through for clean close detection
 	}
 	if [4]byte(hdr[0:4]) != magic {
@@ -292,14 +345,20 @@ func Read(r io.Reader) (*Message, error) {
 		return nil, fmt.Errorf("giop: unsupported version %d.%d", hdr[4], hdr[5])
 	}
 	order := cdr.ByteOrder(hdr[6] & 1)
-	m := &Message{Type: MsgType(hdr[7]), Order: order}
 	size := getULong(hdr[8:12], order)
 	if size > MaxMessageSize {
 		return nil, fmt.Errorf("giop: message size %d exceeds limit", size)
 	}
-	if size > 0 {
+	m := msgPool.Get().(*Message)
+	m.Type, m.Order, m.pooled = MsgType(hdr[7]), order, true
+	if cap(m.Body) < int(size) {
 		m.Body = make([]byte, size)
+	} else {
+		m.Body = m.Body[:size]
+	}
+	if size > 0 {
 		if _, err := io.ReadFull(r, m.Body); err != nil {
+			m.Release()
 			return nil, fmt.Errorf("giop: read body: %w", err)
 		}
 	}

@@ -241,8 +241,18 @@ const maxPipelinePerConn = 64
 type demuxedReply struct {
 	rh  *giop.ReplyHeader
 	lr  *giop.LocateReplyHeader
-	d   *cdr.Decoder // positioned just past the reply header
+	d   *cdr.Decoder  // positioned just past the reply header
+	msg *giop.Message // pooled message backing d; released after decode
 	err error
+}
+
+// release returns the pooled message (which backs r.d) for reuse. Call it
+// only after everything needed from the reply body has been decoded.
+func (r *demuxedReply) release() {
+	if r != nil && r.msg != nil {
+		r.msg.Release()
+		r.msg = nil
+	}
 }
 
 // muxConn is one multiplexed outbound IIOP connection. Many concurrent
@@ -295,6 +305,8 @@ func (c *muxConn) deliver(id uint32, r *demuxedReply) {
 	c.mu.Unlock()
 	if ch != nil {
 		ch <- r
+	} else {
+		r.release() // no waiter: the reply is dropped, recycle its buffer
 	}
 }
 
@@ -352,25 +364,33 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 			rh, err := giop.UnmarshalReplyHeader(d)
 			if err != nil {
 				// An unroutable reply leaves callers unmatchable: poison.
+				msg.Release()
 				c.fail(&SystemException{Name: ExcMarshal, Detail: "reply header: " + err.Error()})
 				return
 			}
-			c.deliver(rh.RequestID, &demuxedReply{rh: rh, d: d})
+			// The message travels with the reply: the waiting caller still
+			// has to decode the result out of its body, and releases it then.
+			c.deliver(rh.RequestID, &demuxedReply{rh: rh, d: d, msg: msg})
 		case giop.MsgLocateReply:
 			lr, err := giop.UnmarshalLocateReply(msg.BodyDecoder())
+			msg.Release() // the locate header is fully copied out
 			if err != nil {
 				c.fail(&SystemException{Name: ExcMarshal, Detail: "locate reply: " + err.Error()})
 				return
 			}
 			c.deliver(lr.RequestID, &demuxedReply{lr: lr})
 		case giop.MsgCloseConnection:
+			msg.Release()
 			c.fail(&SystemException{Name: ExcCommFailure, Detail: "server closed connection"})
 			return
 		case giop.MsgMessageError:
+			msg.Release()
 			c.fail(&SystemException{Name: ExcCommFailure, Detail: "peer reported message error"})
 			return
 		default:
-			c.fail(&SystemException{Name: ExcCommFailure, Detail: "unexpected " + msg.Type.String()})
+			t := msg.Type
+			msg.Release()
+			c.fail(&SystemException{Name: ExcCommFailure, Detail: "unexpected " + t.String()})
 			return
 		}
 	}
@@ -577,7 +597,7 @@ func (p *connPool) roundTrip(ctx context.Context, ior *IOR, op string, args []id
 			return idl.Null(), err
 		}
 		reqID := c.nextID.Add(1)
-		e := giop.NewBodyEncoder(order)
+		e := giop.AcquireBodyEncoder(order)
 		(&giop.RequestHeader{
 			ServiceContext:   svcCtxs,
 			RequestID:        reqID,
@@ -589,6 +609,9 @@ func (p *connPool) roundTrip(ctx context.Context, ior *IOR, op string, args []id
 		idl.MarshalAnys(e, args)
 		msg := &giop.Message{Type: giop.MsgRequest, Order: order, Body: e.Bytes()}
 		r, err := c.call(reqID, msg, expectReply, p.callDeadline(ctx))
+		// call has either copied the frame into the connection's buffered
+		// writer or failed; the encoder's scratch buffer is free either way.
+		giop.ReleaseBodyEncoder(e)
 		if err != nil {
 			if pe, poisoned := err.(*errConnPoisoned); poisoned {
 				if attempt == 0 {
@@ -601,7 +624,9 @@ func (p *connPool) roundTrip(ctx context.Context, ior *IOR, op string, args []id
 		if !expectReply {
 			return idl.Null(), nil
 		}
-		return decodeReply(r)
+		result, err := decodeReply(r)
+		r.release()
+		return result, err
 	}
 }
 
@@ -650,10 +675,11 @@ func (p *connPool) locate(ctx context.Context, ior *IOR) (bool, error) {
 			return false, err
 		}
 		reqID := c.nextID.Add(1)
-		e := giop.NewBodyEncoder(order)
+		e := giop.AcquireBodyEncoder(order)
 		(&giop.LocateRequestHeader{RequestID: reqID, ObjectKey: ior.ObjectKey}).Marshal(e)
 		msg := &giop.Message{Type: giop.MsgLocateRequest, Order: order, Body: e.Bytes()}
 		r, err := c.call(reqID, msg, true, p.callDeadline(ctx))
+		giop.ReleaseBodyEncoder(e)
 		if err != nil {
 			if pe, poisoned := err.(*errConnPoisoned); poisoned {
 				if attempt == 0 {

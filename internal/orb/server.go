@@ -88,6 +88,7 @@ func (o *ORB) serveConn(nc net.Conn) {
 			go func(m *giop.Message) {
 				defer o.wg.Done()
 				defer func() { <-sem }()
+				defer m.Release()
 				if !o.handleRequest(w, m) {
 					// The reply could not be written: the stream is broken
 					// for every other request too, so tear the socket down
@@ -96,17 +97,22 @@ func (o *ORB) serveConn(nc net.Conn) {
 				}
 			}(msg)
 		case giop.MsgLocateRequest:
-			if !o.handleLocate(w, msg) {
+			ok := o.handleLocate(w, msg)
+			msg.Release()
+			if !ok {
 				return
 			}
 		case giop.MsgCancelRequest:
 			// The cancelled request may still be executing in its dispatch
 			// goroutine; GIOP permits ignoring the cancel, and the client
 			// simply discards the eventual reply.
+			msg.Release()
 		case giop.MsgCloseConnection:
+			msg.Release()
 			return
 		default:
 			o.Stats.ProtocolErrors.Add(1)
+			msg.Release()
 			errMsg := &giop.Message{Type: giop.MsgMessageError, Order: cdr.BigEndian}
 			if writeErr := w.Write(errMsg); writeErr != nil {
 				return
@@ -184,7 +190,8 @@ func (o *ORB) dispatch(ctx context.Context, key, op string, args []idl.Any) (idl
 
 // writeReply encodes the reply for a completed invocation.
 func (o *ORB) writeReply(w *giop.SyncWriter, order cdr.ByteOrder, req *giop.RequestHeader, result idl.Any, invErr error) error {
-	e := giop.NewBodyEncoder(order)
+	e := giop.AcquireBodyEncoder(order)
+	defer giop.ReleaseBodyEncoder(e)
 	rh := giop.ReplyHeader{RequestID: req.RequestID}
 	switch err := invErr.(type) {
 	case nil:
@@ -232,7 +239,8 @@ func (o *ORB) handleLocate(w *giop.SyncWriter, msg *giop.Message) bool {
 	if _, ok := o.lookupServant(string(hdr.ObjectKey)); ok {
 		status = giop.LocateObjectHere
 	}
-	e := giop.NewBodyEncoder(msg.Order)
+	e := giop.AcquireBodyEncoder(msg.Order)
+	defer giop.ReleaseBodyEncoder(e)
 	(&giop.LocateReplyHeader{RequestID: hdr.RequestID, Status: status}).Marshal(e)
 	out := &giop.Message{Type: giop.MsgLocateReply, Order: msg.Order, Body: e.Bytes()}
 	o.Stats.BytesSent.Add(int64(len(out.Body) + giop.HeaderSize))

@@ -1,0 +1,236 @@
+package query
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/codb"
+	"repro/internal/mdcache"
+)
+
+// This file is the query processor's view of the federation metadata cache
+// (Config.Cache). Every helper is nil-safe — with no cache configured the
+// fetch runs directly — and returns the mdcache.Outcome so call sites can
+// annotate spans and MemberStatus entries with cache=hit|miss|….
+//
+// Two freshness modes apply, chosen per co-database:
+//
+//   - The node's own co-database (in-process) verifies on every hit against
+//     CoDatabase.Version(), an atomic load: local mutations through any path
+//     are visible immediately, at no wire cost.
+//   - Peer co-databases are served blind within the TTL — that zero-RTT hit
+//     is the point of the cache — and revalidate on expiry with one remote
+//     version() call instead of refetching member lists.
+//
+// Cached values are shared across sessions and goroutines: callers must
+// treat returned slices and descriptors as read-only.
+
+// probeResult is the cached unit of a stage-3 discovery probe: both
+// find_coalitions and find_links answers from one peer, held as a single
+// entry so N concurrent same-topic resolves coalesce into exactly one
+// two-call fan-out per peer.
+type probeResult struct {
+	Coals []codb.Match
+	Links []codb.Match
+}
+
+// srcKey identifies a co-database for cache keying by its object address.
+// Clients are canonical (Config.Local plus the codbByRef memo), so the
+// rendered address is computed once per client and remembered.
+func (p *Processor) srcKey(c *codb.Client) string {
+	if k, ok := p.srcKeys.Load(c); ok {
+		return k.(string)
+	}
+	ior := c.Ref().IOR()
+	k := ior.Addr() + "/" + ior.Key()
+	p.srcKeys.Store(c, k)
+	return k
+}
+
+// versioner returns the schema-version reader for client c and whether hits
+// should be verified against it every time (true only for the in-process
+// co-database, where the read is free and always current).
+func (p *Processor) versioner(c *codb.Client) (mdcache.Versioner, bool) {
+	if cd := p.cfg.LocalCoDB; cd != nil && c == p.cfg.Local {
+		return func(context.Context) (uint64, error) { return cd.Version(), nil }, true
+	}
+	return func(ctx context.Context) (uint64, error) { return c.Version(ctx) }, false
+}
+
+func (p *Processor) cacheGet(ctx context.Context, c *codb.Client, key string, fetch mdcache.Fetcher) (any, mdcache.Outcome, error) {
+	ver, verify := p.versioner(c)
+	return p.cfg.Cache.Get(ctx, key, mdcache.Request{Fetch: fetch, Version: ver, VerifyHit: verify})
+}
+
+// probeKey is the cache key of one peer's stage-3 discovery probe.
+func (p *Processor) probeKey(c *codb.Client, topic string) string {
+	return "probe|" + p.srcKey(c) + "|" + strings.ToLower(topic)
+}
+
+// peekProbe returns a peer's probe result if a fresh positive entry is
+// cached, without verifying, coalescing or fetching. resolveTopic uses it to
+// answer repeat-topic discovery before paying for the per-peer fan-out
+// scaffolding (goroutine, span, call-stats) that a cold probe needs. Peer
+// probes are always TTL-mode entries (the in-process co-database is never
+// probed), so the blind serve matches what a full Get would do on a hit.
+func (p *Processor) peekProbe(c *codb.Client, topic string) (probeResult, bool) {
+	v, ok := p.cfg.Cache.Peek(p.probeKey(c, topic))
+	if !ok {
+		return probeResult{}, false
+	}
+	return v.(probeResult), true
+}
+
+// cachedProbe runs (or replays) one peer's stage-3 discovery probe.
+func (p *Processor) cachedProbe(ctx context.Context, c *codb.Client, topic string) (probeResult, mdcache.Outcome, error) {
+	key := p.probeKey(c, topic)
+	v, out, err := p.cacheGet(ctx, c, key, func(ctx context.Context) (any, error) {
+		coals, err := c.FindCoalitions(ctx, topic)
+		if err != nil {
+			return nil, err
+		}
+		links, err := c.FindLinks(ctx, topic)
+		if err != nil {
+			return nil, err
+		}
+		return probeResult{Coals: coals, Links: links}, nil
+	})
+	if err != nil || v == nil {
+		return probeResult{}, out, err
+	}
+	return v.(probeResult), out, nil
+}
+
+// cachedFindCoalitions scores a co-database's coalitions against a topic.
+func (p *Processor) cachedFindCoalitions(ctx context.Context, c *codb.Client, topic string) ([]codb.Match, mdcache.Outcome, error) {
+	key := "findc|" + p.srcKey(c) + "|" + strings.ToLower(topic)
+	v, out, err := p.cacheGet(ctx, c, key, func(ctx context.Context) (any, error) {
+		return c.FindCoalitions(ctx, topic)
+	})
+	if err != nil || v == nil {
+		return nil, out, err
+	}
+	return v.([]codb.Match), out, nil
+}
+
+// cachedFindLinks scores a co-database's service links against a topic.
+func (p *Processor) cachedFindLinks(ctx context.Context, c *codb.Client, topic string) ([]codb.Match, mdcache.Outcome, error) {
+	key := "findl|" + p.srcKey(c) + "|" + strings.ToLower(topic)
+	v, out, err := p.cacheGet(ctx, c, key, func(ctx context.Context) (any, error) {
+		return c.FindLinks(ctx, topic)
+	})
+	if err != nil || v == nil {
+		return nil, out, err
+	}
+	return v.([]codb.Match), out, nil
+}
+
+// cachedCoalitions lists a co-database's coalition classes.
+func (p *Processor) cachedCoalitions(ctx context.Context, c *codb.Client) ([]string, mdcache.Outcome, error) {
+	v, out, err := p.cacheGet(ctx, c, "coalitions|"+p.srcKey(c), func(ctx context.Context) (any, error) {
+		return c.Coalitions(ctx)
+	})
+	if err != nil || v == nil {
+		return nil, out, err
+	}
+	return v.([]string), out, nil
+}
+
+// cachedMemberOf lists the coalitions a co-database's owner belongs to.
+func (p *Processor) cachedMemberOf(ctx context.Context, c *codb.Client) ([]string, mdcache.Outcome, error) {
+	v, out, err := p.cacheGet(ctx, c, "memberof|"+p.srcKey(c), func(ctx context.Context) (any, error) {
+		return c.MemberOf(ctx)
+	})
+	if err != nil || v == nil {
+		return nil, out, err
+	}
+	return v.([]string), out, nil
+}
+
+// cachedInstances lists a coalition's member descriptors.
+func (p *Processor) cachedInstances(ctx context.Context, c *codb.Client, coalition string) ([]*codb.SourceDescriptor, mdcache.Outcome, error) {
+	key := "instances|" + p.srcKey(c) + "|" + strings.ToLower(coalition)
+	v, out, err := p.cacheGet(ctx, c, key, func(ctx context.Context) (any, error) {
+		return c.Instances(ctx, coalition)
+	})
+	if err != nil || v == nil {
+		return nil, out, err
+	}
+	return v.([]*codb.SourceDescriptor), out, nil
+}
+
+// cachedLinks lists a co-database's service links.
+func (p *Processor) cachedLinks(ctx context.Context, c *codb.Client) ([]*codb.ServiceLink, mdcache.Outcome, error) {
+	v, out, err := p.cacheGet(ctx, c, "links|"+p.srcKey(c), func(ctx context.Context) (any, error) {
+		return c.Links(ctx)
+	})
+	if err != nil || v == nil {
+		return nil, out, err
+	}
+	return v.([]*codb.ServiceLink), out, nil
+}
+
+// cachedAccessInfo fetches a source descriptor by database name.
+func (p *Processor) cachedAccessInfo(ctx context.Context, c *codb.Client, source string) (*codb.SourceDescriptor, mdcache.Outcome, error) {
+	key := "access|" + p.srcKey(c) + "|" + strings.ToLower(source)
+	v, out, err := p.cacheGet(ctx, c, key, func(ctx context.Context) (any, error) {
+		return c.AccessInfo(ctx, source)
+	})
+	if err != nil || v == nil {
+		return nil, out, err
+	}
+	return v.(*codb.SourceDescriptor), out, nil
+}
+
+// peerTarget is one stage-3 probe target: a coalition peer's member name,
+// co-database reference and canonical client.
+type peerTarget struct {
+	Name string
+	Ref  string
+	Peer *codb.Client
+}
+
+// cachedPeerTargets assembles (or replays) the deduplicated probe-target list
+// for stage-3 discovery: every distinct peer co-database reachable through
+// the coalitions the local owner belongs to, in deterministic member order.
+// The list is itself a cache entry — derived purely from local metadata, it
+// shares the local co-database's version-verified freshness — so a repeat
+// discovery skips the member-of and per-coalition instance lookups entirely.
+func (p *Processor) cachedPeerTargets(ctx context.Context, local *codb.Client) ([]peerTarget, mdcache.Outcome, error) {
+	key := "peers|" + p.srcKey(local)
+	v, out, err := p.cacheGet(ctx, local, key, func(ctx context.Context) (any, error) {
+		memberOf, _, err := p.cachedMemberOf(ctx, local)
+		if err != nil {
+			return nil, err
+		}
+		var targets []peerTarget
+		seen := map[string]bool{}
+		for _, coalition := range memberOf {
+			members, _, err := p.cachedInstances(ctx, local, coalition)
+			if err != nil {
+				continue
+			}
+			for _, m := range members {
+				if strings.EqualFold(m.Name, p.cfg.Home) || m.CoDBRef == "" || seen[m.CoDBRef] {
+					continue
+				}
+				peer, err := p.codbByRef(m.CoDBRef)
+				if err != nil {
+					continue
+				}
+				seen[m.CoDBRef] = true
+				targets = append(targets, peerTarget{Name: m.Name, Ref: m.CoDBRef, Peer: peer})
+			}
+		}
+		return targets, nil
+	})
+	if err != nil || v == nil {
+		return nil, out, err
+	}
+	return v.([]peerTarget), out, nil
+}
+
+// invalidateCache eagerly empties the metadata cache after a statement that
+// mutates the information space (Join/Leave, Create Coalition/Link), so the
+// change is observable immediately instead of after TTL/version convergence.
+func (p *Processor) invalidateCache() { p.cfg.Cache.InvalidateAll() }

@@ -5,13 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codb"
 	"repro/internal/gateway"
 	"repro/internal/idl"
+	"repro/internal/mdcache"
 	"repro/internal/orb"
 	"repro/internal/trace"
 	"repro/internal/wtl"
@@ -60,6 +63,13 @@ type MemberStatus struct {
 	Latency  time.Duration // wall-clock time this member's sub-call took
 	ErrClass string        // "", "timeout", "comm", "breaker", "system", "user", "skipped"
 	Err      string        // error message ("" on success)
+	// Cached is true when the sub-call was answered from the metadata cache
+	// (a hit, or coalesced onto another caller's in-flight fetch) without
+	// its own probe fan-out.
+	Cached bool
+	// Stale is true when the member was unreachable (down, circuit-broken)
+	// and an expired cache entry was served as the degraded answer.
+	Stale bool
 }
 
 // OK reports whether the member answered.
@@ -118,11 +128,34 @@ type Config struct {
 	// probe) so one slow member cannot hold the whole fan-out. 0 leaves only
 	// the caller's context deadline and the ORB's CallTimeout.
 	MemberTimeout time.Duration
+	// Cache, when set, caches federation metadata (coalition member lists,
+	// source descriptors, peer probe results) across statements and
+	// sessions. Data queries are never cached. nil disables caching.
+	Cache *mdcache.Cache
 }
 
 // Processor is the query layer of one WebFINDIT node.
 type Processor struct {
 	cfg Config
+
+	// The fan-out and degradation policy are runtime-tunable (SetFanOut,
+	// SetMemberPolicy) while sessions execute concurrently, so they live in
+	// atomics rather than in cfg.
+	fanOutN    atomic.Int32
+	minMembers atomic.Int32
+	memberTO   atomic.Int64 // nanoseconds
+
+	// Memoized co-database clients keyed by stringified IOR, so the hot
+	// discovery paths do not re-parse IORs and re-build clients on every
+	// statement. Clients are stateless handles; sharing them is safe.
+	clientMu sync.Mutex
+	clients  map[string]*codb.Client
+
+	// Memoized cache-key prefixes (srcKey) per canonical client: rendering
+	// an IOR address hex-encodes the object key, which profiling shows is
+	// the top allocator on a fully cached discovery, so it is paid once per
+	// client instead of once per lookup.
+	srcKeys sync.Map // *codb.Client -> string
 }
 
 // New creates a processor; ORB, Home and Local are required.
@@ -130,21 +163,30 @@ func New(cfg Config) (*Processor, error) {
 	if cfg.ORB == nil || cfg.Local == nil || cfg.Home == "" {
 		return nil, fmt.Errorf("query: Config needs ORB, Local and Home")
 	}
-	return &Processor{cfg: cfg}, nil
+	p := &Processor{cfg: cfg, clients: make(map[string]*codb.Client)}
+	p.fanOutN.Store(int32(cfg.FanOut))
+	p.minMembers.Store(int32(cfg.MinMembers))
+	p.memberTO.Store(int64(cfg.MemberTimeout))
+	return p, nil
 }
 
-// SetFanOut adjusts the member fan-out width (see Config.FanOut). It must
-// not be called concurrently with running sessions; benchmarks use it to
-// compare serial and parallel decomposition.
-func (p *Processor) SetFanOut(n int) { p.cfg.FanOut = n }
+// SetFanOut adjusts the member fan-out width (see Config.FanOut). It is safe
+// to call concurrently with running sessions; in-flight statements may use
+// either width. Benchmarks use it to compare serial and parallel
+// decomposition.
+func (p *Processor) SetFanOut(n int) { p.fanOutN.Store(int32(n)) }
 
 // SetMemberPolicy adjusts the degradation policy (see Config.MinMembers and
-// Config.MemberTimeout). It must not be called concurrently with running
-// sessions.
+// Config.MemberTimeout). It is safe to call concurrently with running
+// sessions; in-flight statements may observe either policy.
 func (p *Processor) SetMemberPolicy(minMembers int, memberTimeout time.Duration) {
-	p.cfg.MinMembers = minMembers
-	p.cfg.MemberTimeout = memberTimeout
+	p.minMembers.Store(int32(minMembers))
+	p.memberTO.Store(int64(memberTimeout))
 }
+
+func (p *Processor) fanOutWidth() int             { return int(p.fanOutN.Load()) }
+func (p *Processor) minMembersQuorum() int        { return int(p.minMembers.Load()) }
+func (p *Processor) memberTimeout() time.Duration { return time.Duration(p.memberTO.Load()) }
 
 // Session is one user's interactive context: the coalition they are
 // connected to and the source they last selected. Sessions are not safe for
@@ -192,13 +234,25 @@ func (s *Session) Trace() []TraceEvent {
 }
 
 func (s *Session) tracef(layer, format string, args ...any) {
+	s.traceMsg(layer, fmt.Sprintf(format, args...))
+}
+
+// traceMsg appends a preformatted trace line. Hot paths that repeat fixed
+// messages (cache-served discovery stages) use it to skip fmt formatting.
+func (s *Session) traceMsg(layer, msg string) {
 	s.traceMu.Lock()
 	defer s.traceMu.Unlock()
 	var elapsed time.Duration
 	if !s.stmtStart.IsZero() {
 		elapsed = time.Since(s.stmtStart)
 	}
-	s.trace = append(s.trace, TraceEvent{Layer: layer, Msg: fmt.Sprintf(format, args...), Elapsed: elapsed})
+	if s.trace == nil {
+		// Trace() hands the buffer to the caller, so every statement starts
+		// from nil; size the fresh buffer for a typical statement instead of
+		// growing it append by append.
+		s.trace = make([]TraceEvent, 0, 16)
+	}
+	s.trace = append(s.trace, TraceEvent{Layer: layer, Msg: msg, Elapsed: elapsed})
 }
 
 // markStmtStart anchors TraceEvent.Elapsed for the statement about to run.
@@ -230,13 +284,6 @@ func (s *Session) Execute(ctx context.Context, src string) (*Response, error) {
 	return s.execTimed(ctx, stmt)
 }
 
-// ExecuteCtx parses and runs one WebTassili statement.
-//
-// Deprecated: Execute is context-first now; call it directly.
-func (s *Session) ExecuteCtx(ctx context.Context, src string) (*Response, error) {
-	return s.Execute(ctx, src)
-}
-
 // ExecuteStmt runs one parsed statement under a caller context. The whole
 // statement runs inside a "query:<StmtType>" span; every stage below parents
 // onto it.
@@ -245,18 +292,51 @@ func (s *Session) ExecuteStmt(ctx context.Context, stmt wtl.Stmt) (*Response, er
 	return s.execTimed(ctx, stmt)
 }
 
-// ExecuteStmtCtx runs one parsed statement.
-//
-// Deprecated: ExecuteStmt is context-first now; call it directly.
-func (s *Session) ExecuteStmtCtx(ctx context.Context, stmt wtl.Stmt) (*Response, error) {
-	return s.ExecuteStmt(ctx, stmt)
-}
-
 func (s *Session) execTimed(ctx context.Context, stmt wtl.Stmt) (*Response, error) {
-	ctx, sp := trace.StartSpan(ctx, "query:"+strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*wtl."))
+	ctx, sp := trace.StartSpan(ctx, stmtSpanName(stmt))
 	resp, err := s.execStmt(ctx, stmt)
 	sp.End(err)
 	return resp, err
+}
+
+// stmtSpanName maps a statement to its span name without reflection or
+// formatting (execTimed runs per statement, so this is on the hot path).
+func stmtSpanName(stmt wtl.Stmt) string {
+	switch stmt.(type) {
+	case *wtl.FindCoalitions:
+		return "query:FindCoalitions"
+	case *wtl.Connect:
+		return "query:Connect"
+	case *wtl.DisplayCoalitions:
+		return "query:DisplayCoalitions"
+	case *wtl.DisplayLinks:
+		return "query:DisplayLinks"
+	case *wtl.DisplaySubClasses:
+		return "query:DisplaySubClasses"
+	case *wtl.DisplayInstances:
+		return "query:DisplayInstances"
+	case *wtl.DisplayDocument:
+		return "query:DisplayDocument"
+	case *wtl.DisplayAccessInfo:
+		return "query:DisplayAccessInfo"
+	case *wtl.DisplayInterface:
+		return "query:DisplayInterface"
+	case *wtl.SearchType:
+		return "query:SearchType"
+	case *wtl.FuncQuery:
+		return "query:FuncQuery"
+	case *wtl.NativeQuery:
+		return "query:NativeQuery"
+	case *wtl.CreateCoalition:
+		return "query:CreateCoalition"
+	case *wtl.CreateLink:
+		return "query:CreateLink"
+	case *wtl.JoinCoalition:
+		return "query:JoinCoalition"
+	case *wtl.LeaveCoalition:
+		return "query:LeaveCoalition"
+	}
+	return "query:" + strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*wtl.")
 }
 
 func (s *Session) execStmt(ctx context.Context, stmt wtl.Stmt) (*Response, error) {
@@ -309,7 +389,9 @@ func (s *Session) execFind(ctx context.Context, q *wtl.FindCoalitions) (*Respons
 	}
 	resp := &Response{Stmt: q, Leads: leads, Members: probes}
 	for _, m := range probes {
-		if !m.OK() {
+		// A stale-served probe answered, but from an expired cache entry:
+		// the result is usable yet degraded, so it is flagged partial too.
+		if !m.OK() || m.Stale {
 			resp.Partial = true
 		}
 	}
@@ -351,29 +433,42 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 	local := p.cfg.Local
 	var leads []Lead
 
-	// Stage 1: coalitions in the local co-database.
-	s.tracef("communication", "invoke find_coalitions(%q) on local co-database", topic)
+	// Stage 1: coalitions in the local co-database. The communication line is
+	// written after the lookup so it reflects what actually happened: a
+	// cache-served stage performs no invocation, and its fixed trace line
+	// skips fmt formatting on the repeat-discovery hot path.
 	st1Ctx, st1 := trace.StartSpan(ctx, "query.stage:local-coalitions")
-	matches, err := local.FindCoalitions(st1Ctx, topic)
+	matches, out1, err := p.cachedFindCoalitions(st1Ctx, local, topic)
+	st1.SetAttr("cache", out1.String())
 	st1.End(err)
 	if err != nil {
 		return nil, nil, fmt.Errorf("query: local co-database: %w", err)
 	}
-	s.tracef("meta-data", "local co-database scored %d coalition(s)", len(matches))
+	if out1.Served() {
+		s.traceMsg("communication", "find_coalitions answered by the metadata cache (local co-database)")
+	} else {
+		s.tracef("communication", "invoke find_coalitions(%q) on local co-database", topic)
+	}
+	s.traceMsg("meta-data", "local co-database scored "+strconv.Itoa(len(matches))+" coalition(s)")
 	leads = append(leads, leadsFrom(matches, "")...)
 	if fullScore(leads) {
 		return sortLeads(leads), nil, nil
 	}
 
 	// Stage 2: service links known locally.
-	s.tracef("communication", "invoke find_links(%q) on local co-database", topic)
 	st2Ctx, st2 := trace.StartSpan(ctx, "query.stage:local-links")
-	links, err := local.FindLinks(st2Ctx, topic)
+	links, out2, err := p.cachedFindLinks(st2Ctx, local, topic)
+	st2.SetAttr("cache", out2.String())
 	st2.End(err)
 	if err != nil {
 		return nil, nil, fmt.Errorf("query: local co-database links: %w", err)
 	}
-	s.tracef("meta-data", "local co-database scored %d service link(s)", len(links))
+	if out2.Served() {
+		s.traceMsg("communication", "find_links answered by the metadata cache (local co-database)")
+	} else {
+		s.tracef("communication", "invoke find_links(%q) on local co-database", topic)
+	}
+	s.traceMsg("meta-data", "local co-database scored "+strconv.Itoa(len(links))+" service link(s)")
 	leads = append(leads, leadsFrom(links, "")...)
 	if fullScore(leads) {
 		return sortLeads(leads), nil, nil
@@ -388,7 +483,7 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 	// keeping lead ordering identical to the serial algorithm.
 	st3Ctx, st3 := trace.StartSpan(ctx, "query.stage:coalition-peers")
 	defer st3.End(nil)
-	memberOf, err := local.MemberOf(st3Ctx)
+	targets, _, err := p.cachedPeerTargets(st3Ctx, local)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -399,62 +494,59 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 		coals []codb.Match
 		links []codb.Match
 	}
-	var probes []*peerProbe
-	probed := map[string]bool{}
-	for _, coalition := range memberOf {
-		members, err := local.Instances(st3Ctx, coalition)
-		if err != nil {
-			continue
-		}
-		for _, m := range members {
-			if strings.EqualFold(m.Name, p.cfg.Home) || m.CoDBRef == "" || probed[m.CoDBRef] {
-				continue
-			}
-			peer, err := p.codbByRef(m.CoDBRef)
-			if err != nil {
-				continue
-			}
-			probed[m.CoDBRef] = true
-			s.tracef("communication", "invoke find_coalitions(%q) on peer co-database of %s", topic, m.Name)
-			s.tracef("communication", "invoke find_links(%q) on peer co-database of %s", topic, m.Name)
-			probes = append(probes, &peerProbe{name: m.Name, ref: m.CoDBRef, peer: peer})
-		}
+	probes := make([]peerProbe, len(targets))
+	for i, tgt := range targets {
+		probes[i] = peerProbe{name: tgt.Name, ref: tgt.Ref, peer: tgt.Peer}
 	}
 	statuses := make([]MemberStatus, len(probes))
-	for i, pr := range probes {
+	// Fast path: fresh cached probes are answered inline, skipping the
+	// per-peer goroutine, span and call-stats scaffolding entirely; only the
+	// peers without a fresh entry join the fan-out below.
+	var pending []int
+	for i := range probes {
+		pr := &probes[i]
+		if res, ok := p.peekProbe(pr.peer, topic); ok {
+			pr.coals, pr.links = res.Coals, res.Links
+			statuses[i] = MemberStatus{Member: pr.name, Ref: pr.ref, Cached: true}
+			continue
+		}
 		statuses[i] = MemberStatus{Member: pr.name, Ref: pr.ref,
 			ErrClass: "skipped", Err: "not dispatched"}
+		s.tracef("communication", "invoke find_coalitions(%q) on peer co-database of %s", topic, pr.name)
+		s.tracef("communication", "invoke find_links(%q) on peer co-database of %s", topic, pr.name)
+		pending = append(pending, i)
 	}
-	fanOutCtx(st3Ctx, len(probes), p.cfg.FanOut, func(i int) {
-		pr := probes[i]
-		st := &statuses[i]
+	if cachedN := len(probes) - len(pending); cachedN > 0 {
+		s.traceMsg("communication", "peer probes answered by the metadata cache: "+
+			strconv.Itoa(cachedN)+" of "+strconv.Itoa(len(probes)))
+	}
+	fanOutCtx(st3Ctx, len(pending), p.fanOutWidth(), func(j int) {
+		pr := &probes[pending[j]]
+		st := &statuses[pending[j]]
 		probeCtx, psp := trace.StartSpan(st3Ctx, "query.probe:"+pr.name)
-		if mt := p.cfg.MemberTimeout; mt > 0 {
+		if mt := p.memberTimeout(); mt > 0 {
 			var cancel context.CancelFunc
 			probeCtx, cancel = context.WithTimeout(probeCtx, mt)
 			defer cancel()
 		}
 		probeCtx, cs := orb.WithCallStats(probeCtx)
 		start := time.Now()
-		var perr error
-		if pm, err := pr.peer.FindCoalitions(probeCtx, topic); err == nil {
-			pr.coals = pm
-		} else {
-			perr = err
-		}
-		if pl, err := pr.peer.FindLinks(probeCtx, topic); err == nil {
-			pr.links = pl
-		} else if perr == nil {
-			perr = err
-		}
+		res, out, perr := p.cachedProbe(probeCtx, pr.peer, topic)
 		st.Latency = time.Since(start)
 		st.Attempts = int(cs.Attempts.Load())
+		st.Cached = out.Served() || out == mdcache.Coalesced
+		st.Stale = out == mdcache.Stale
+		psp.SetAttr("cache", out.String())
 		if perr != nil {
 			st.ErrClass = classifyErr(perr)
 			st.Err = perr.Error()
 			s.tracef("communication", "peer co-database of %s failed (%s): %v", pr.name, st.ErrClass, perr)
 		} else {
+			pr.coals, pr.links = res.Coals, res.Links
 			st.ErrClass, st.Err = "", ""
+			if st.Stale {
+				s.tracef("communication", "peer co-database of %s unavailable; serving stale cached probe", pr.name)
+			}
 		}
 		psp.End(perr)
 	})
@@ -463,7 +555,8 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 	for _, l := range out {
 		seen["c:"+strings.ToLower(l.Coalition)] = true
 	}
-	for _, pr := range probes {
+	for i := range probes {
+		pr := &probes[i]
 		for _, match := range pr.coals {
 			key := "c:" + strings.ToLower(match.Coalition)
 			if !seen[key] {
@@ -512,13 +605,29 @@ func leadsFrom(matches []codb.Match, defaultRef string) []Lead {
 	return out
 }
 
-// codbByRef opens a co-database client from a stringified IOR.
+// codbByRef opens a co-database client from a stringified IOR, memoizing the
+// parsed client so repeated discovery over the same peers costs a map lookup
+// instead of an IOR parse per statement.
 func (p *Processor) codbByRef(ref string) (*codb.Client, error) {
+	p.clientMu.Lock()
+	if c, ok := p.clients[ref]; ok {
+		p.clientMu.Unlock()
+		return c, nil
+	}
+	p.clientMu.Unlock()
 	objRef, err := p.cfg.ORB.ResolveString(ref)
 	if err != nil {
 		return nil, err
 	}
-	return codb.NewClient(objRef), nil
+	c := codb.NewClient(objRef)
+	p.clientMu.Lock()
+	if prev, ok := p.clients[ref]; ok {
+		c = prev // another goroutine won the race; keep one canonical client
+	} else {
+		p.clients[ref] = c
+	}
+	p.clientMu.Unlock()
+	return c, nil
 }
 
 // ---- Connection and browsing ----
@@ -539,16 +648,16 @@ func (s *Session) execConnect(ctx context.Context, q *wtl.Connect) (*Response, e
 // through a service link, or through a coalition peer.
 func (p *Processor) coalitionEntry(ctx context.Context, s *Session, coalition string) (*codb.Client, error) {
 	local := p.cfg.Local
-	if hasCoalition(ctx, local, coalition) {
+	if p.hasCoalition(ctx, local, coalition) {
 		s.tracef("meta-data", "coalition %s found in local co-database", coalition)
 		return local, nil
 	}
 	// A service link naming the coalition as target may carry a reference.
-	links, err := local.Links(ctx)
+	links, _, err := p.cachedLinks(ctx, local)
 	if err == nil {
 		for _, l := range links {
 			if strings.EqualFold(l.To, coalition) && l.CoDBRef != "" {
-				if peer, err := p.codbByRef(l.CoDBRef); err == nil && hasCoalition(ctx, peer, coalition) {
+				if peer, err := p.codbByRef(l.CoDBRef); err == nil && p.hasCoalition(ctx, peer, coalition) {
 					s.tracef("communication", "entering coalition %s through service link %s", coalition, l.Name)
 					return peer, nil
 				}
@@ -556,9 +665,9 @@ func (p *Processor) coalitionEntry(ctx context.Context, s *Session, coalition st
 		}
 	}
 	// Ask coalition peers.
-	memberOf, _ := local.MemberOf(ctx)
+	memberOf, _, _ := p.cachedMemberOf(ctx, local)
 	for _, c := range memberOf {
-		members, err := local.Instances(ctx, c)
+		members, _, err := p.cachedInstances(ctx, local, c)
 		if err != nil {
 			continue
 		}
@@ -570,18 +679,18 @@ func (p *Processor) coalitionEntry(ctx context.Context, s *Session, coalition st
 			if err != nil {
 				continue
 			}
-			if hasCoalition(ctx, peer, coalition) {
+			if p.hasCoalition(ctx, peer, coalition) {
 				s.tracef("communication", "entering coalition %s through peer %s", coalition, m.Name)
 				return peer, nil
 			}
 			// One more hop: the peer's links may carry the reference.
-			plinks, err := peer.Links(ctx)
+			plinks, _, err := p.cachedLinks(ctx, peer)
 			if err != nil {
 				continue
 			}
 			for _, l := range plinks {
 				if strings.EqualFold(l.To, coalition) && l.CoDBRef != "" {
-					if far, err := p.codbByRef(l.CoDBRef); err == nil && hasCoalition(ctx, far, coalition) {
+					if far, err := p.codbByRef(l.CoDBRef); err == nil && p.hasCoalition(ctx, far, coalition) {
 						s.tracef("communication", "entering coalition %s through peer %s link %s",
 							coalition, m.Name, l.Name)
 						return far, nil
@@ -593,8 +702,8 @@ func (p *Processor) coalitionEntry(ctx context.Context, s *Session, coalition st
 	return nil, fmt.Errorf("query: no entry point found for coalition %s", coalition)
 }
 
-func hasCoalition(ctx context.Context, c *codb.Client, coalition string) bool {
-	names, err := c.Coalitions(ctx)
+func (p *Processor) hasCoalition(ctx context.Context, c *codb.Client, coalition string) bool {
+	names, _, err := p.cachedCoalitions(ctx, c)
 	if err != nil {
 		return false
 	}
@@ -804,10 +913,10 @@ func (s *Session) lookupSource(ctx context.Context, name string) (*codb.SourceDe
 	if name == "" {
 		return nil, fmt.Errorf("query: no source selected; name one with On or Display Access Information first")
 	}
-	if d, err := s.current().AccessInfo(ctx, name); err == nil {
+	if d, _, err := s.p.cachedAccessInfo(ctx, s.current(), name); err == nil {
 		return d, nil
 	}
-	d, err := s.p.cfg.Local.AccessInfo(ctx, name)
+	d, _, err := s.p.cachedAccessInfo(ctx, s.p.cfg.Local, name)
 	if err != nil {
 		return nil, fmt.Errorf("query: source %s not found in current context: %w", name, err)
 	}
@@ -890,7 +999,7 @@ func (s *Session) execCoalitionFuncQuery(ctx context.Context, q *wtl.FuncQuery) 
 	if err != nil {
 		return nil, err
 	}
-	members, err := entry.Instances(ctx, q.Source)
+	members, _, err := s.p.cachedInstances(ctx, entry, q.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -927,14 +1036,14 @@ func (s *Session) execCoalitionFuncQuery(ctx context.Context, q *wtl.FuncQuery) 
 		statuses[i] = MemberStatus{Member: pt.d.Name, Ref: pt.d.ISIRef,
 			ErrClass: "skipped", Err: "not dispatched"}
 	}
-	fanOutCtx(ctx, len(parts), s.p.cfg.FanOut, func(i int) {
+	fanOutCtx(ctx, len(parts), s.p.fanOutWidth(), func(i int) {
 		pt := parts[i]
 		st := &statuses[i]
 		// One span per coalition member, so the fan-out's critical path —
 		// the slowest member — is visible in the trace.
 		mctx, msp := trace.StartSpan(ctx, "query.member:"+pt.d.Name)
 		msp.SetAttr("engine", pt.d.Engine)
-		if mt := s.p.cfg.MemberTimeout; mt > 0 {
+		if mt := s.p.memberTimeout(); mt > 0 {
 			var cancel context.CancelFunc
 			mctx, cancel = context.WithTimeout(mctx, mt)
 			defer cancel()
@@ -976,7 +1085,7 @@ func (s *Session) execCoalitionFuncQuery(ctx context.Context, q *wtl.FuncQuery) 
 			firstErr = errors.New(statuses[i].Err)
 		}
 	}
-	quorum := s.p.cfg.MinMembers
+	quorum := s.p.minMembersQuorum()
 	if quorum <= 0 {
 		quorum = 1
 	}
@@ -1053,6 +1162,7 @@ func (s *Session) execCreateCoalition(q *wtl.CreateCoalition) (*Response, error)
 	if err := cd.DefineCoalition(q.Name, q.Parent, q.Description); err != nil {
 		return nil, err
 	}
+	s.p.invalidateCache()
 	return &Response{Stmt: q, Text: fmt.Sprintf("Coalition %s created.", q.Name)}, nil
 }
 
@@ -1071,6 +1181,7 @@ func (s *Session) execCreateLink(q *wtl.CreateLink) (*Response, error) {
 	}); err != nil {
 		return nil, err
 	}
+	s.p.invalidateCache()
 	return &Response{Stmt: q, Text: fmt.Sprintf("Service link %s created.", q.Name)}, nil
 }
 
@@ -1078,7 +1189,7 @@ func (s *Session) execCreateLink(q *wtl.CreateLink) (*Response, error) {
 // known to the entry client, deduplicated by reference. The clients are
 // resolved through a bounded worker pool and returned in member order.
 func (p *Processor) memberCoDBs(ctx context.Context, entry *codb.Client, coalition string) ([]*codb.Client, error) {
-	members, err := entry.Instances(ctx, coalition)
+	members, _, err := p.cachedInstances(ctx, entry, coalition)
 	if err != nil {
 		return nil, err
 	}
@@ -1092,7 +1203,7 @@ func (p *Processor) memberCoDBs(ctx context.Context, entry *codb.Client, coaliti
 		refs = append(refs, m.CoDBRef)
 	}
 	clients := make([]*codb.Client, len(refs))
-	fanOut(len(refs), p.cfg.FanOut, func(i int) {
+	fanOut(len(refs), p.fanOutWidth(), func(i int) {
 		if c, err := p.codbByRef(refs[i]); err == nil {
 			clients[i] = c
 		}
@@ -1120,7 +1231,7 @@ func (s *Session) execJoin(ctx context.Context, q *wtl.JoinCoalition) (*Response
 	if err != nil {
 		return nil, err
 	}
-	members, err := entry.Instances(ctx, q.Coalition)
+	members, _, err := s.p.cachedInstances(ctx, entry, q.Coalition)
 	if err != nil {
 		return nil, err
 	}
@@ -1140,7 +1251,7 @@ func (s *Session) execJoin(ctx context.Context, q *wtl.JoinCoalition) (*Response
 	// back (best effort) and a failed join leaves no peer knowing the
 	// newcomer.
 	advErrs := make([]error, len(peers))
-	fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
+	fanOut(len(peers), s.p.fanOutWidth(), func(i int) {
 		s.tracef("communication", "advertising %s into a member co-database", s.p.cfg.Home)
 		advErrs[i] = peers[i].Advertise(ctx, q.Coalition, home)
 	})
@@ -1152,7 +1263,7 @@ func (s *Session) execJoin(ctx context.Context, q *wtl.JoinCoalition) (*Response
 		}
 	}
 	if joinErr != nil {
-		fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
+		fanOut(len(peers), s.p.fanOutWidth(), func(i int) {
 			if advErrs[i] == nil {
 				peers[i].RemoveMember(ctx, q.Coalition, s.p.cfg.Home)
 			}
@@ -1176,6 +1287,9 @@ func (s *Session) execJoin(ctx context.Context, q *wtl.JoinCoalition) (*Response
 			return nil, err
 		}
 	}
+	// The membership everyone cached just changed; drop it eagerly so the
+	// join is observable before TTL/version convergence.
+	s.p.invalidateCache()
 	return &Response{Stmt: q,
 		Text: fmt.Sprintf("%s joined coalition %s.", s.p.cfg.Home, q.Coalition)}, nil
 }
@@ -1192,7 +1306,7 @@ func (s *Session) execLeave(ctx context.Context, q *wtl.LeaveCoalition) (*Respon
 		return nil, err
 	}
 	removedAt := make([]bool, len(peers))
-	fanOut(len(peers), s.p.cfg.FanOut, func(i int) {
+	fanOut(len(peers), s.p.fanOutWidth(), func(i int) {
 		if err := peers[i].RemoveMember(ctx, q.Coalition, s.p.cfg.Home); err == nil {
 			removedAt[i] = true
 		}
@@ -1204,6 +1318,7 @@ func (s *Session) execLeave(ctx context.Context, q *wtl.LeaveCoalition) (*Respon
 	if !removed {
 		return nil, fmt.Errorf("query: %s is not a member of %s", s.p.cfg.Home, q.Coalition)
 	}
+	s.p.invalidateCache()
 	return &Response{Stmt: q,
 		Text: fmt.Sprintf("%s left coalition %s.", s.p.cfg.Home, q.Coalition)}, nil
 }

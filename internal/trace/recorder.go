@@ -77,14 +77,14 @@ func (t *Tracer) SetSlowLog(f func(format string, args ...any)) {
 func (t *Tracer) Publish(name string, fn func() any) { t.vars.Store(name, fn) }
 
 // record files one finished span. Called by Span.End.
-func (t *Tracer) record(rec SpanRecord) {
+func (t *Tracer) record(rec spanRec) {
 	t.spans.add(rec)
-	t.opFor(rec.Name).observe(rec.Duration, rec.Err != "")
-	if thr := t.slowNS.Load(); thr > 0 && rec.Duration >= time.Duration(thr) {
+	t.opFor(rec.name).observe(rec.duration, rec.err != "")
+	if thr := t.slowNS.Load(); thr > 0 && rec.duration >= time.Duration(thr) {
 		t.slow.add(rec)
 		if pf := t.slowLog.Load(); pf != nil {
 			(*pf)("trace: slow call %s took %v (trace %s, threshold %v)",
-				rec.Name, rec.Duration, rec.Trace, time.Duration(thr))
+				rec.name, rec.duration, rec.trace, time.Duration(thr))
 		}
 	}
 }
@@ -98,22 +98,31 @@ func (t *Tracer) opFor(name string) *opMetrics {
 }
 
 // Spans returns the recorded spans, oldest first.
-func (t *Tracer) Spans() []SpanRecord { return t.spans.snapshot() }
+func (t *Tracer) Spans() []SpanRecord { return export(t.spans.snapshot()) }
 
 // TraceSpans returns the recorded spans of one trace (hex ID), oldest first.
 func (t *Tracer) TraceSpans(traceID string) []SpanRecord {
 	all := t.spans.snapshot()
 	out := all[:0:0]
 	for _, rec := range all {
-		if rec.Trace == traceID {
+		if rec.trace.String() == traceID {
 			out = append(out, rec)
 		}
 	}
-	return out
+	return export(out)
 }
 
 // SlowCalls returns the recorded slow calls, oldest first.
-func (t *Tracer) SlowCalls() []SpanRecord { return t.slow.snapshot() }
+func (t *Tracer) SlowCalls() []SpanRecord { return export(t.slow.snapshot()) }
+
+// export renders ring records into the public hex-string form.
+func export(recs []spanRec) []SpanRecord {
+	out := make([]SpanRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.export()
+	}
+	return out
+}
 
 // Reset clears the rings and the per-operation metrics (tests, benchmarks).
 func (t *Tracer) Reset() {
@@ -129,14 +138,14 @@ func (t *Tracer) Reset() {
 
 type ring struct {
 	mu   sync.Mutex
-	buf  []SpanRecord
+	buf  []spanRec
 	next int
 	full bool
 }
 
-func newRing(n int) *ring { return &ring{buf: make([]SpanRecord, n)} }
+func newRing(n int) *ring { return &ring{buf: make([]spanRec, n)} }
 
-func (r *ring) add(rec SpanRecord) {
+func (r *ring) add(rec spanRec) {
 	r.mu.Lock()
 	r.buf[r.next] = rec
 	r.next++
@@ -148,13 +157,13 @@ func (r *ring) add(rec SpanRecord) {
 }
 
 // snapshot copies the ring contents, oldest first.
-func (r *ring) snapshot() []SpanRecord {
+func (r *ring) snapshot() []spanRec {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.full {
-		return append([]SpanRecord(nil), r.buf[:r.next]...)
+		return append([]spanRec(nil), r.buf[:r.next]...)
 	}
-	out := make([]SpanRecord, 0, len(r.buf))
+	out := make([]spanRec, 0, len(r.buf))
 	out = append(out, r.buf[r.next:]...)
 	return append(out, r.buf[:r.next]...)
 }
@@ -164,7 +173,7 @@ func (r *ring) reset() {
 	r.next = 0
 	r.full = false
 	for i := range r.buf {
-		r.buf[i] = SpanRecord{}
+		r.buf[i] = spanRec{}
 	}
 	r.mu.Unlock()
 }

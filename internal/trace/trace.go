@@ -111,7 +111,12 @@ type Span struct {
 	parent SpanID
 	start  time.Time
 	attrs  []Attr
-	ended  atomic.Bool
+	// attrsArr backs attrs for the common small-span case (most spans carry
+	// one or two attributes) so SetAttr does not allocate; attrs spills to
+	// the heap only past its capacity. The finished record aliases it, which
+	// is safe: SetAttr no-ops once the span has ended.
+	attrsArr [2]Attr
+	ended    atomic.Bool
 }
 
 // Context returns the span's propagation context.
@@ -144,21 +149,49 @@ func (s *Span) End(err error) {
 	if s == nil || !s.ended.CompareAndSwap(false, true) {
 		return
 	}
-	rec := SpanRecord{
-		Trace:    s.sc.Trace.String(),
-		Span:     s.sc.Span.String(),
-		Name:     s.name,
-		Attrs:    s.attrs,
-		Start:    s.start,
-		Duration: time.Since(s.start),
-	}
-	if !s.parent.IsZero() {
-		rec.Parent = s.parent.String()
+	rec := spanRec{
+		trace:    s.sc.Trace,
+		span:     s.sc.Span,
+		parent:   s.parent,
+		name:     s.name,
+		attrs:    s.attrs,
+		start:    s.start,
+		duration: time.Since(s.start),
 	}
 	if err != nil {
-		rec.Err = err.Error()
+		rec.err = err.Error()
 	}
 	s.tracer.record(rec)
+}
+
+// spanRec is the ring buffer's representation of a finished span. IDs stay in
+// their binary form so the hot path (End on every span) never pays for hex
+// formatting; export renders the public SpanRecord when a snapshot is read.
+type spanRec struct {
+	trace    TraceID
+	span     SpanID
+	parent   SpanID
+	name     string
+	attrs    []Attr
+	start    time.Time
+	duration time.Duration
+	err      string
+}
+
+func (r spanRec) export() SpanRecord {
+	rec := SpanRecord{
+		Trace:    r.trace.String(),
+		Span:     r.span.String(),
+		Name:     r.name,
+		Attrs:    r.attrs,
+		Start:    r.start,
+		Duration: r.duration,
+		Err:      r.err,
+	}
+	if !r.parent.IsZero() {
+		rec.Parent = r.parent.String()
+	}
+	return rec
 }
 
 // SpanRecord is one finished span as kept by the recorder and served by the
@@ -249,5 +282,6 @@ func startSpan(ctx context.Context, t *Tracer, name string) (context.Context, *S
 		sc.Trace = newTraceID()
 	}
 	sp := &Span{tracer: t, name: name, sc: sc, parent: parent.Span, start: time.Now()}
+	sp.attrs = sp.attrsArr[:0]
 	return ContextWithSpan(ctx, sp), sp
 }
