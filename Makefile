@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: verify race bench test build vet ci fmt-check cover bench-smoke chaos bench-json bench-json-smoke
+.PHONY: verify race bench test build vet ci fmt-check cover cover-check bench-smoke chaos sim fuzz-smoke bench-json bench-json-smoke
+
+# COVER_FLOOR is the coverage ratchet: verify fails below this total.
+# Raise it when coverage grows; never lower it (PR-2 baseline was 74.3%).
+COVER_FLOOR = 74.0
 
 # verify is the tier-1 gate: build + vet + full test suite.
 verify:
@@ -13,15 +17,30 @@ verify:
 	$(GO) test ./...
 
 # ci mirrors .github/workflows/ci.yml: formatting gate, tier-1 verify,
-# race detector, chaos suite, coverage profile, and a one-iteration
-# benchmark smoke.
-ci: fmt-check verify race chaos cover bench-smoke
+# race detector, chaos suite, simulation suite, coverage ratchet, fuzz
+# smoke, and a one-iteration benchmark smoke.
+ci: fmt-check verify race chaos sim cover-check fuzz-smoke bench-smoke
 
 # chaos runs the fault-injection suites (injected connect failures, latency,
 # drops and resets; retry/breaker behaviour; partial-result degradation)
-# under the race detector.
+# under the race detector — both the simnet ports and the socket smokes.
 chaos:
 	$(GO) test -race -run 'Chaos' ./internal/orb ./internal/query
+
+# sim runs the deterministic simulation suite under the race detector: the
+# simnet transport tests and the model-based federation test over its fixed
+# seed matrix. Replay one failing seed with:
+#   go test ./internal/simtest -run TestModelAgainstOracle -simnet.seed=N
+sim:
+	$(GO) test -race ./internal/simnet ./internal/simtest
+
+# fuzz-smoke runs every fuzz target briefly: enough to catch regressions on
+# the checked-in corpus plus a short random walk, without a full campaign.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzGIOPRoundTrip -fuzztime=5s ./internal/giop
+	$(GO) test -run='^$$' -fuzz=FuzzGIOPRead -fuzztime=5s ./internal/giop
+	$(GO) test -run='^$$' -fuzz=FuzzWTLParse -fuzztime=5s ./internal/wtl
+	$(GO) test -run='^$$' -fuzz=FuzzSQLParse -fuzztime=5s ./internal/relational
 
 # fmt-check fails if any file needs gofmt (CI's formatting gate).
 fmt-check:
@@ -32,6 +51,14 @@ fmt-check:
 # the recorded baseline total lives in EXPERIMENTS.md.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
+
+# cover-check is the ratchet: fail CI when total coverage drops below
+# COVER_FLOOR.
+cover-check: cover
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
 
 # bench-smoke runs every benchmark exactly once: cheap insurance that
 # benchmark setup code still works, without a full measurement run.

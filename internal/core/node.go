@@ -67,6 +67,11 @@ type NodeConfig struct {
 	MDCacheTTL        time.Duration
 	MDCacheNegTTL     time.Duration
 	MDCacheMaxEntries int
+	// Clock, when set, overrides time.Now for the node's metadata cache.
+	// Deterministic simulations (internal/simtest) pin it to the simnet
+	// virtual clock so TTL expiry is a virtual-time event that tests
+	// advance explicitly.
+	Clock func() time.Time
 }
 
 // Node is one running WebFINDIT participant.
@@ -177,6 +182,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			TTL:        cfg.MDCacheTTL,
 			NegTTL:     cfg.MDCacheNegTTL,
 			MaxEntries: cfg.MDCacheMaxEntries,
+			Clock:      cfg.Clock,
 		})
 	}
 	n.Processor, err = query.New(query.Config{

@@ -1,13 +1,16 @@
 package orb
 
 import (
-	"context"
 	"strings"
 	"testing"
-	"time"
 
 	"repro/internal/idl"
 )
+
+// The chaos acceptance suite lives in chaos_sim_test.go, running over the
+// deterministic in-memory transport (internal/simnet). This file keeps one
+// socket-based smoke copy so the fault injector is still exercised against
+// the real TCP stack.
 
 // startFaultyPair boots a server and a client ORB with the given client
 // options, both with colocation disabled so every call crosses the socket
@@ -46,167 +49,5 @@ func TestChaosInjectedConnectFailure(t *testing.T) {
 	}
 	if n := client.Stats.FaultsInjected.Load(); n == 0 {
 		t.Error("FaultsInjected not counted")
-	}
-}
-
-// TestChaosRetryRecovers proves an endpoint that is dead for its first dials
-// recovers transparently under the idempotent retry budget, and that
-// non-idempotent calls never retry.
-func TestChaosRetryRecovers(t *testing.T) {
-	client, ref := startFaultyPair(t, Options{
-		Faults: &FaultPlan{Rules: []FaultRule{{FailFirst: 2}}},
-		Retry:  RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
-	})
-	got, err := ref.InvokeIdempotent(context.Background(), "echo", idl.String("retried"))
-	if err != nil {
-		t.Fatalf("idempotent call did not recover: %v", err)
-	}
-	if got.Str != "retried" {
-		t.Errorf("echo = %s", got)
-	}
-	if n := client.Stats.Retries.Load(); n != 2 {
-		t.Errorf("Retries = %d, want 2", n)
-	}
-
-	// A fresh plan kills the first dial again: the non-idempotent path must
-	// surface the failure on its single attempt.
-	client.SetFaultPlan(&FaultPlan{Rules: []FaultRule{{FailFirst: 1}}})
-	client.pool.closeAll() // drop the live connection so the next call dials
-	if _, err := ref.Invoke("echo", idl.String("x")); err == nil {
-		t.Fatal("non-idempotent call retried through an injected dial failure")
-	}
-	if n := client.Stats.Retries.Load(); n != 2 {
-		t.Errorf("non-idempotent call bumped Retries to %d", n)
-	}
-}
-
-// TestChaosRetryAttemptsReported proves per-context CallStats counts every
-// transport attempt of the retry sequence.
-func TestChaosRetryAttemptsReported(t *testing.T) {
-	_, ref := startFaultyPair(t, Options{
-		Faults: &FaultPlan{Rules: []FaultRule{{FailFirst: 1}}},
-		Retry:  RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
-	})
-	ctx, cs := WithCallStats(context.Background())
-	if _, err := ref.InvokeIdempotent(ctx, "echo", idl.String("x")); err != nil {
-		t.Fatal(err)
-	}
-	if n := cs.Attempts.Load(); n != 2 {
-		t.Errorf("Attempts = %d, want 2 (one failed dial + one success)", n)
-	}
-}
-
-// TestChaosBreakerLifecycle drives one endpoint's breaker through
-// closed -> open (fail fast) -> half-open -> closed.
-func TestChaosBreakerLifecycle(t *testing.T) {
-	cooldown := 50 * time.Millisecond
-	client, ref := startFaultyPair(t, Options{
-		Faults:  &FaultPlan{Rules: []FaultRule{{FailConnect: 1}}},
-		Breaker: BreakerPolicy{Threshold: 2, Cooldown: cooldown},
-	})
-	addr := ref.IOR().Addr()
-
-	// Two transport failures trip the breaker.
-	for i := 0; i < 2; i++ {
-		if _, err := ref.Invoke("echo", idl.String("x")); err == nil {
-			t.Fatal("expected injected failure")
-		}
-	}
-	if trips := client.Stats.BreakerTrips.Load(); trips != 1 {
-		t.Fatalf("BreakerTrips = %d, want 1", trips)
-	}
-	if st := client.BreakerSnapshot()[addr]; st.State != BreakerOpen {
-		t.Fatalf("breaker state = %q, want open", st.State)
-	}
-
-	// While open the breaker fails fast: TRANSIENT, no dial reaches the
-	// injector.
-	faultsBefore := client.Stats.FaultsInjected.Load()
-	_, err := ref.Invoke("echo", idl.String("x"))
-	se, ok := err.(*SystemException)
-	if !ok || se.Name != ExcTransient {
-		t.Fatalf("open breaker returned %v, want TRANSIENT", err)
-	}
-	if n := client.Stats.BreakerRejects.Load(); n != 1 {
-		t.Errorf("BreakerRejects = %d, want 1", n)
-	}
-	if client.Stats.FaultsInjected.Load() != faultsBefore {
-		t.Error("open breaker still dialed the endpoint")
-	}
-
-	// Heal the endpoint, wait out the cooldown: the next call is the
-	// half-open probe, closes the circuit, and subsequent calls flow.
-	client.SetFaultPlan(nil)
-	time.Sleep(cooldown + 10*time.Millisecond)
-	if _, err := ref.Invoke("echo", idl.String("probe")); err != nil {
-		t.Fatalf("half-open probe failed: %v", err)
-	}
-	if st := client.BreakerSnapshot()[addr]; st.State != BreakerClosed {
-		t.Fatalf("breaker state after probe = %q, want closed", st.State)
-	}
-	if _, err := ref.Invoke("echo", idl.String("x")); err != nil {
-		t.Fatalf("call after close failed: %v", err)
-	}
-}
-
-// TestChaosHalfOpenProbeFailureReopens proves a failed half-open probe
-// re-opens the circuit for a full cooldown.
-func TestChaosHalfOpenProbeFailureReopens(t *testing.T) {
-	cooldown := 30 * time.Millisecond
-	client, ref := startFaultyPair(t, Options{
-		Faults:  &FaultPlan{Rules: []FaultRule{{FailConnect: 1}}},
-		Breaker: BreakerPolicy{Threshold: 1, Cooldown: cooldown},
-	})
-	addr := ref.IOR().Addr()
-	if _, err := ref.Invoke("echo", idl.String("x")); err == nil {
-		t.Fatal("expected injected failure")
-	}
-	time.Sleep(cooldown + 10*time.Millisecond)
-	// Probe still faulted: breaker re-opens and trips again.
-	if _, err := ref.Invoke("echo", idl.String("x")); err == nil {
-		t.Fatal("expected probe failure")
-	}
-	if st := client.BreakerSnapshot()[addr]; st.State != BreakerOpen {
-		t.Fatalf("breaker state = %q, want open after failed probe", st.State)
-	}
-	if trips := client.Stats.BreakerTrips.Load(); trips != 2 {
-		t.Errorf("BreakerTrips = %d, want 2", trips)
-	}
-}
-
-// TestChaosDeadlineBoundsSlowEndpoint proves a context deadline bounds a
-// call to an endpoint with injected reply latency well below that latency.
-func TestChaosDeadlineBoundsSlowEndpoint(t *testing.T) {
-	_, ref := startFaultyPair(t, Options{
-		Faults: &FaultPlan{Rules: []FaultRule{{LatencyMS: 2000}}},
-	})
-	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
-	defer cancel()
-	start := time.Now()
-	_, err := ref.InvokeCtx(ctx, "echo", idl.String("slow"))
-	elapsed := time.Since(start)
-	se, ok := err.(*SystemException)
-	if !ok || se.Name != ExcCommFailure {
-		t.Fatalf("want COMM_FAILURE timeout, got %v", err)
-	}
-	if elapsed > time.Second {
-		t.Errorf("slow endpoint held the caller %v despite an 80ms deadline", elapsed)
-	}
-}
-
-// TestChaosDroppedRequestTimesOut proves a silently dropped request frame is
-// recovered only through the caller's deadline, as with a lost datagram.
-func TestChaosDroppedRequestTimesOut(t *testing.T) {
-	client, ref := startFaultyPair(t, Options{
-		Faults:      &FaultPlan{Rules: []FaultRule{{Drop: 1}}},
-		CallTimeout: 60 * time.Millisecond,
-	})
-	_, err := ref.Invoke("echo", idl.String("dropped"))
-	se, ok := err.(*SystemException)
-	if !ok || se.Name != ExcCommFailure || !strings.Contains(se.Detail, "timed out") {
-		t.Fatalf("want timeout COMM_FAILURE, got %v", err)
-	}
-	if n := client.Stats.FaultsInjected.Load(); n == 0 {
-		t.Error("drop not counted as an injected fault")
 	}
 }

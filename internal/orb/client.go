@@ -481,13 +481,14 @@ func (p *connPool) get(addr string) (*muxConn, error) {
 			return nil, err
 		}
 	}
-	nc, err := net.DialTimeout("tcp", addr, p.orb.opts.DialTimeout)
+	nc, err := p.orb.transport.DialTimeout(addr, p.orb.opts.DialTimeout)
 	if err != nil {
 		return nil, &SystemException{Name: ExcCommFailure, Detail: fmt.Sprintf("dial %s: %v", addr, err)}
 	}
-	if inj != nil {
-		nc = inj.wrap(addr, nc)
-	}
+	// Every connection is wrapped so a FaultPlan installed later (SetFaultPlan
+	// at runtime) applies to connections already in the pool; with no active
+	// plan the wrapper is one atomic load per read/write.
+	nc = &faultConn{Conn: nc, orb: p.orb, addr: addr}
 	c := &muxConn{
 		pool:    p,
 		addr:    addr,

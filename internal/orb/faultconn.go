@@ -120,42 +120,56 @@ func (fi *faultInjector) dialFault(addr string) error {
 	return nil
 }
 
-// wrap decorates a freshly dialed connection with the faults of the matching
-// rule; connections to unmatched endpoints pass through untouched.
-func (fi *faultInjector) wrap(addr string, nc net.Conn) net.Conn {
-	r := fi.plan.rule(addr)
-	if r == nil || (r.LatencyMS <= 0 && r.Drop <= 0 && r.Reset <= 0) {
-		return nc
-	}
-	return &faultConn{Conn: nc, fi: fi, rule: *r}
-}
-
 // faultConn injects per-frame faults around a live net.Conn. Latency is
 // applied on the read path (delaying replies) rather than the write path, so
 // a slow endpoint stalls only its own demux loop — the caller's deadline
 // still bounds the wait, and writers to other endpoints are unaffected.
+//
+// The wrapper looks up the ORB's *current* injector and rule on every read
+// and write rather than capturing them at dial time, so a plan swapped in by
+// SetFaultPlan reaches connections already sitting in the pool. The plan of
+// a live injector is immutable (only the PRNG and dial counters mutate,
+// behind the injector's mutex), so the lock-free rule lookup is safe.
+// Latency sleeps on the ORB's clock, which a virtual-time transport
+// (orb.Sleeper, implemented by internal/simnet) redirects off the wall.
 type faultConn struct {
 	net.Conn
-	fi   *faultInjector
-	rule FaultRule
+	orb  *ORB
+	addr string
+}
+
+// activeRule returns the injector and rule currently governing this
+// connection, or nil when no plan matches its endpoint.
+func (c *faultConn) activeRule() (*faultInjector, *FaultRule) {
+	fi := c.orb.injector()
+	if fi == nil {
+		return nil, nil
+	}
+	r := fi.plan.rule(c.addr)
+	if r == nil {
+		return nil, nil
+	}
+	return fi, r
 }
 
 func (c *faultConn) Read(p []byte) (int, error) {
-	if c.rule.LatencyMS > 0 {
-		time.Sleep(time.Duration(c.rule.LatencyMS) * time.Millisecond)
+	if _, r := c.activeRule(); r != nil && r.LatencyMS > 0 {
+		c.orb.sleep(time.Duration(r.LatencyMS) * time.Millisecond)
 	}
 	return c.Conn.Read(p)
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
-	if c.fi.roll(c.rule.Reset) {
-		c.fi.injected.FaultsInjected.Add(1)
-		c.Conn.Close()
-		return 0, fmt.Errorf("injected connection reset")
-	}
-	if c.fi.roll(c.rule.Drop) {
-		c.fi.injected.FaultsInjected.Add(1)
-		return len(p), nil // frame swallowed; the caller's deadline recovers
+	if fi, r := c.activeRule(); fi != nil {
+		if fi.roll(r.Reset) {
+			fi.injected.FaultsInjected.Add(1)
+			c.Conn.Close()
+			return 0, fmt.Errorf("injected connection reset")
+		}
+		if fi.roll(r.Drop) {
+			fi.injected.FaultsInjected.Add(1)
+			return len(p), nil // frame swallowed; the caller's deadline recovers
+		}
 	}
 	return c.Conn.Write(p)
 }

@@ -149,6 +149,11 @@ type Options struct {
 	// Faults installs a fault-injection plan on the client IIOP path (chaos
 	// testing). nil injects nothing; SetFaultPlan swaps plans at runtime.
 	Faults *FaultPlan
+	// Transport supplies the network stack used by Listen and client dials.
+	// nil selects the operating system's TCP stack. Deterministic tests
+	// inject an in-memory transport (internal/simnet) to run federations
+	// without sockets and with virtual time.
+	Transport Transport
 }
 
 // RetryPolicy bounds the transparent retry of idempotent client invocations.
@@ -200,6 +205,11 @@ type ORB struct {
 
 	pool *connPool
 
+	// transport is never nil (Options.Transport or the TCP default); sleep
+	// delegates to the transport's virtual clock when it has one.
+	transport Transport
+	sleep     func(time.Duration)
+
 	interceptors interceptorRegistry
 
 	// breakers is nil unless Options.Breaker enables circuit breaking.
@@ -232,10 +242,18 @@ func New(opts Options) *ORB {
 		opts.MaxIdlePerHost = 8
 	}
 	o := &ORB{
-		opts:     opts,
-		repo:     idl.NewRepository(),
-		servants: make(map[string]Servant),
-		closed:   make(chan struct{}),
+		opts:      opts,
+		repo:      idl.NewRepository(),
+		servants:  make(map[string]Servant),
+		closed:    make(chan struct{}),
+		transport: opts.Transport,
+		sleep:     time.Sleep,
+	}
+	if o.transport == nil {
+		o.transport = tcpTransport{}
+	}
+	if s, ok := o.transport.(Sleeper); ok {
+		o.sleep = s.Sleep
 	}
 	o.pool = newConnPool(o)
 	if opts.Breaker.Threshold > 0 {
@@ -248,8 +266,11 @@ func New(opts Options) *ORB {
 }
 
 // SetFaultPlan installs (or, with nil, removes) the client-side fault
-// injection plan at runtime. In-flight calls keep the injector they started
-// with; new dials see the new plan.
+// injection plan at runtime. The swap is visible to connections already
+// sitting in the pool, not just future dials: every pooled connection
+// consults the active plan on each read and write, so latency, drop and
+// reset rules take effect immediately on live connections. Dial-path rules
+// (FailFirst, FailConnect) inherently apply only to future dials.
 func (o *ORB) SetFaultPlan(plan *FaultPlan) {
 	if plan == nil {
 		o.faults.Store(nil)
@@ -279,7 +300,7 @@ func (o *ORB) Repository() *idl.Repository { return o.repo }
 // Listen starts the IIOP endpoint on addr (e.g. "127.0.0.1:0") and begins
 // accepting connections. It must be called before Activate.
 func (o *ORB) Listen(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	ln, err := o.transport.Listen(addr)
 	if err != nil {
 		return fmt.Errorf("orb(%s): listen %s: %w", o.opts.Product, addr, err)
 	}

@@ -1,0 +1,46 @@
+package relational
+
+import "testing"
+
+// FuzzSQLParse feeds arbitrary SQL text to the statement and script parsers:
+// any input must produce statements or an error, never a panic, and a script
+// parse must never half-succeed (statements alongside an error).
+func FuzzSQLParse(f *testing.F) {
+	seeds := []string{
+		"CREATE TABLE Patient (Id INT PRIMARY KEY, Name VARCHAR(64), Gender CHAR(1))",
+		"CREATE INDEX idx_gender ON Patient (Gender)",
+		"INSERT INTO Patient VALUES (1, 'Alice Howe', 'F')",
+		"INSERT INTO Patient (Id, Name) VALUES (2, 'Bob Tran')",
+		"SELECT Name FROM Patient WHERE Gender = 'F' ORDER BY Name",
+		"SELECT COUNT(*) FROM Patient GROUP BY Gender HAVING COUNT(*) > 1",
+		"SELECT p.Name, h.Note FROM Patient p JOIN History h ON p.Id = h.PatientId",
+		"UPDATE Patient SET Name = 'X' WHERE Id = 1",
+		"DELETE FROM Patient WHERE Address IS NULL",
+		"SELECT * FROM Patient WHERE Name LIKE 'A%' AND Id BETWEEN 1 AND 9",
+		"BEGIN",
+		"COMMIT",
+		"ROLLBACK",
+		`CREATE TABLE r (k VARCHAR(16) PRIMARY KEY, v INT);
+		INSERT INTO r VALUES ('a', 0);`,
+		// Malformed shapes the parser must reject gracefully.
+		"SELECT FROM",
+		"INSERT Patient",
+		"CREATE TABLE (",
+		"SELECT 'unterminated",
+		"",
+		";;;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if stmt, err := ParseSQL(src); err != nil && stmt != nil {
+			t.Fatalf("ParseSQL(%q) returned both statement and error %v", src, err)
+		}
+		stmts, err := ParseSQLScript(src)
+		if err != nil && len(stmts) > 0 {
+			t.Fatalf("ParseSQLScript(%q) returned %d statements and error %v", src, len(stmts), err)
+		}
+	})
+}

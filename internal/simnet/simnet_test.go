@@ -1,0 +1,316 @@
+package simnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockTimerOrder(t *testing.T) {
+	c := NewClock()
+	var mu sync.Mutex
+	var fired []string
+	add := func(name string, d time.Duration) {
+		c.AfterFunc(d, func() {
+			mu.Lock()
+			fired = append(fired, name)
+			mu.Unlock()
+		})
+	}
+	add("b", 20*time.Millisecond)
+	add("a", 10*time.Millisecond)
+	add("a2", 10*time.Millisecond) // same deadline as a: creation order wins
+	add("c", 30*time.Millisecond)
+	c.Advance(25 * time.Millisecond)
+	mu.Lock()
+	got := append([]string(nil), fired...)
+	mu.Unlock()
+	want := []string{"a", "a2", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if c.PendingTimers() != 1 {
+		t.Fatalf("pending = %d, want 1", c.PendingTimers())
+	}
+	if c.Elapsed() != 25*time.Millisecond {
+		t.Fatalf("elapsed = %v", c.Elapsed())
+	}
+}
+
+func TestClockSleepViaAutoAdvance(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	start := time.Now()
+	n.Clock().Sleep(5 * time.Second) // virtual
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("virtual sleep took %v of wall time", wall)
+	}
+	if n.Clock().Elapsed() < 5*time.Second {
+		t.Fatalf("clock advanced only %v", n.Clock().Elapsed())
+	}
+}
+
+func TestConnRoundTripAndEOF(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	ep1, ep2 := n.Endpoint("a"), n.Endpoint("b")
+	ln, err := ep1.Listen("ignored:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HostOf(ln.Addr().String()) != ep1.Host() {
+		t.Fatalf("listener host %s, want %s", ln.Addr(), ep1.Host())
+	}
+
+	type acc struct {
+		c   net.Conn
+		err error
+	}
+	accCh := make(chan acc, 1)
+	go func() {
+		c, err := ln.Accept()
+		accCh <- acc{c, err}
+	}()
+
+	cli, err := ep2.DialTimeout(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-accCh
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	srv := a.c
+
+	if _, err := cli.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	nn, err := srv.Read(buf)
+	if err != nil || string(buf[:nn]) != "ping" {
+		t.Fatalf("server read %q, %v", buf[:nn], err)
+	}
+	if _, err := srv.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	nn, err = cli.Read(buf)
+	if err != nil || string(buf[:nn]) != "pong" {
+		t.Fatalf("client read %q, %v", buf[:nn], err)
+	}
+
+	// Close with data still buffered: the peer drains, then sees EOF.
+	if _, err := srv.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	nn, err = cli.Read(buf)
+	if err != nil || string(buf[:nn]) != "bye" {
+		t.Fatalf("drain read %q, %v", buf[:nn], err)
+	}
+	if _, err = cli.Read(buf); err != io.EOF {
+		t.Fatalf("after close: %v, want io.EOF", err)
+	}
+	if _, err := cli.Read(buf); err != io.EOF {
+		t.Fatalf("EOF not sticky: %v", err)
+	}
+	st := n.Stats()
+	if st.Dials != 1 || st.Accepts != 1 || st.Messages != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDialRefusedCases(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	ep := n.Endpoint("a")
+	if _, err := ep.DialTimeout(n.prefix+"-nowhere:5", time.Second); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+	if n.Stats().Refused != 1 {
+		t.Fatalf("refused = %d", n.Stats().Refused)
+	}
+}
+
+func TestPartitionRefusesAndResets(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	epA, epB := n.Endpoint("a"), n.Endpoint("b")
+	ln, _ := epA.Listen(":0")
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) // echo
+		}
+	}()
+	cli, err := epB.DialTimeout(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Write([]byte("x"))
+	buf := make([]byte, 4)
+	if _, err := cli.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Partition(epA.Host(), epB.Host())
+	if _, err := cli.Read(buf); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("read on partitioned conn: %v, want reset wrapping net.ErrClosed", err)
+	}
+	if _, err := epB.DialTimeout(ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial across partition succeeded")
+	}
+
+	n.Heal(epA.Host(), epB.Host())
+	cli2, err := epB.DialTimeout(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	cli2.Write([]byte("y"))
+	if _, err := cli2.Read(buf); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func TestBlackholeSwallowsUntilHeal(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	epA, epB := n.Endpoint("a"), n.Endpoint("b")
+	ln, _ := epA.Listen(":0")
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	cli, err := epB.DialTimeout(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Blackhole(epA.Host(), epB.Host())
+	if _, err := cli.Write([]byte("lost")); err != nil {
+		t.Fatalf("blackholed write errored: %v", err)
+	}
+	cli.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := cli.Read(make([]byte, 4)); err == nil {
+		t.Fatal("read returned data across a blackhole")
+	}
+	if n.Stats().Swallowed == 0 {
+		t.Fatal("no writes recorded as swallowed")
+	}
+	cli.SetReadDeadline(time.Time{})
+	n.Heal(epA.Host(), epB.Host())
+	if _, err := cli.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if nn, err := cli.Read(buf); err != nil || string(buf[:nn]) != "back" {
+		t.Fatalf("echo after heal: %q, %v", buf[:nn], err)
+	}
+}
+
+func TestLinkLatencyIsVirtualAndFIFO(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	epA, epB := n.Endpoint("a"), n.Endpoint("b")
+	n.SetLinkLatency(epA.Host(), epB.Host(), 500*time.Millisecond)
+	ln, _ := epA.Listen(":0")
+	got := make(chan string, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 16)
+		total := 0
+		for total < 6 {
+			nn, err := c.Read(buf[total:])
+			if err != nil {
+				return
+			}
+			total += nn
+		}
+		got <- string(buf[:total])
+	}()
+	cli, err := epB.DialTimeout(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	cli.Write([]byte("one"))
+	cli.Write([]byte("two"))
+	select {
+	case s := <-got:
+		if s != "onetwo" {
+			t.Fatalf("out-of-order delivery: %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("latency delivery never arrived")
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("virtual latency burned %v wall time", wall)
+	}
+	if n.Clock().Elapsed() < 500*time.Millisecond {
+		t.Fatalf("clock advanced only %v", n.Clock().Elapsed())
+	}
+}
+
+func TestListenerPortAssignmentAndDuplicates(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	ep := n.Endpoint("a")
+	ln1, err := ep.Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := ep.Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln1.Addr().String() == ln2.Addr().String() {
+		t.Fatalf("duplicate auto-assigned address %s", ln1.Addr())
+	}
+	if _, err := ep.Listen(":" + ln1.Addr().String()[len(ln1.Addr().String())-1:]); err == nil {
+		// port of ln1 is single-digit in a fresh net ("1")
+		t.Fatal("duplicate bind succeeded")
+	}
+	ln1.Close()
+	if _, err := ln1.Accept(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("accept after close: %v", err)
+	}
+}
+
+func TestIsolateCutsAllLinks(t *testing.T) {
+	n := New(1)
+	defer n.Close()
+	a, b, c := n.Endpoint("a"), n.Endpoint("b"), n.Endpoint("c")
+	lnB, _ := b.Listen(":0")
+	lnC, _ := c.Listen(":0")
+	n.Isolate(a.Host())
+	if _, err := a.DialTimeout(lnB.Addr().String(), time.Second); err == nil {
+		t.Fatal("isolated host dialed b")
+	}
+	if _, err := a.DialTimeout(lnC.Addr().String(), time.Second); err == nil {
+		t.Fatal("isolated host dialed c")
+	}
+	if _, err := b.DialTimeout(lnC.Addr().String(), time.Second); err != nil {
+		t.Fatalf("unrelated link broken: %v", err)
+	}
+	n.Rejoin(a.Host())
+	if _, err := a.DialTimeout(lnB.Addr().String(), time.Second); err != nil {
+		t.Fatalf("rejoin did not heal: %v", err)
+	}
+}

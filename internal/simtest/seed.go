@@ -1,0 +1,22 @@
+package simtest
+
+import (
+	"flag"
+	"fmt"
+)
+
+// seedFlag lets a failure be replayed deterministically:
+//
+//	go test ./internal/simtest -run TestModelAgainstOracle -simnet.seed=N
+//
+// When set (non-zero), the model-based test runs that single seed instead of
+// the fixed seed matrix.
+var seedFlag = flag.Int64("simnet.seed", 0, "replay the model-based simulation test with this seed only")
+
+// ReplaySeed returns the seed selected with -simnet.seed, or 0 if unset.
+func ReplaySeed() int64 { return *seedFlag }
+
+// ReplayLine renders the one-liner that reproduces a failed run.
+func ReplayLine(seed int64) string {
+	return fmt.Sprintf("replay: go test ./internal/simtest -run TestModelAgainstOracle -simnet.seed=%d", seed)
+}

@@ -1,0 +1,245 @@
+// Package simtest is the scenario kit on top of internal/simnet: it
+// assembles whole multi-node WebFINDIT federations in one process with zero
+// real sockets, generates seeded random topologies and workloads, checks
+// cross-cutting invariants after every step (trace continuity, partial-result
+// accounting, metadata-cache coherence, breaker legality), and runs a
+// model-based comparison of federation query results against a flat
+// in-memory oracle. Every failure banner includes a `-simnet.seed=N`
+// one-liner that replays the exact run: same seed, same event order, same
+// verdict.
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/codb"
+	"repro/internal/core"
+	"repro/internal/orb"
+	"repro/internal/query"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// BaseCoalition is the coalition every node belongs to for the whole run.
+// It gives discovery a connectivity backbone (stage-3 peer probes and
+// coalition-entry searches walk its member list) and is never the target of
+// generated Join/Leave/Partition-sensitive assertions.
+const BaseCoalition = "fedbase"
+
+// Config sizes a simulated federation.
+type Config struct {
+	// Seed drives topology generation and the workload. Replaying a seed
+	// reproduces the run.
+	Seed int64
+	// Nodes is the federation size (default 6).
+	Nodes int
+	// Coalitions is how many named coalitions ("c0"…) to scatter over the
+	// nodes (default 3).
+	Coalitions int
+	// ORB is the base option set for every node's ORB; Transport, Product
+	// and DisableColocation are overridden per node. Leave Retry/Breaker
+	// zero for an exact oracle (no retry/breaker state to model).
+	ORB orb.Options
+	// MDCacheTTL overrides the metadata-cache TTL (default 2s). The cache
+	// runs on the simulation's virtual clock.
+	MDCacheTTL time.Duration
+}
+
+// Node is one federation participant: its simulated host, ORB and core node.
+type Node struct {
+	Idx     int
+	Name    string
+	Host    string
+	ORB     *orb.ORB
+	Core    *core.Node
+	Session *query.Session
+}
+
+// Fed is a running federation over simnet.
+type Fed struct {
+	Net    *simnet.Net
+	Clock  *simnet.Clock
+	Tracer *trace.Tracer
+	Nodes  []*Node
+	Seed   int64
+	TTL    time.Duration
+
+	// Members is the initial topology: coalition name -> member indexes,
+	// in index order. The oracle evolves its own copy as the workload
+	// joins and leaves.
+	Members map[string][]int
+
+	rng *rand.Rand
+}
+
+// Build boots a federation over a fresh simnet: every node on its own
+// simulated host and ORB (colocation disabled, so every call crosses the
+// simulated wire), tracing enabled on a federation-wide tracer, metadata
+// caches pinned to the virtual clock, and coalition metadata replicated
+// symmetrically into every member's co-database (the same wiring
+// core.Federation.DefineCoalition does, for per-node ORBs).
+func Build(cfg Config) (*Fed, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 6
+	}
+	if cfg.Coalitions <= 0 {
+		cfg.Coalitions = 3
+	}
+	if cfg.MDCacheTTL <= 0 {
+		cfg.MDCacheTTL = 2 * time.Second
+	}
+	snet := simnet.New(cfg.Seed)
+	fed := &Fed{
+		Net:    snet,
+		Clock:  snet.Clock(),
+		Tracer: trace.New(trace.Options{Capacity: 8192}),
+		Seed:   cfg.Seed,
+		TTL:    cfg.MDCacheTTL,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	products := []orb.Product{orb.Orbix, orb.OrbixWeb, orb.VisiBroker}
+	for i := 0; i < cfg.Nodes; i++ {
+		ep := snet.Endpoint(fmt.Sprintf("n%d", i))
+		opts := cfg.ORB
+		opts.Transport = ep
+		opts.Product = products[i%len(products)]
+		opts.DisableColocation = true
+		o := orb.New(opts)
+		if err := o.Listen(":0"); err != nil {
+			fed.Close()
+			return nil, err
+		}
+		o.EnableTracing(fed.Tracer)
+		name := fmt.Sprintf("N%d", i)
+		node, err := core.NewNode(core.NodeConfig{
+			Name:            name,
+			Engine:          core.EngineOracle,
+			ORB:             o,
+			InformationType: "records",
+			Schema: fmt.Sprintf(`CREATE TABLE r (k VARCHAR(16) PRIMARY KEY, v INT);
+				INSERT INTO r VALUES ('a', %d);`, i),
+			Interface: []codb.ExportedType{{
+				Name: "R",
+				Functions: []codb.ExportedFunction{{
+					Name: "V", Returns: "int",
+					Table: "r", ResultColumn: "v", ArgColumn: "k",
+				}},
+			}},
+			Clock:      fed.Clock.Now,
+			MDCacheTTL: cfg.MDCacheTTL,
+		})
+		if err != nil {
+			fed.Close()
+			return nil, err
+		}
+		node.Processor.SetFanOut(1) // serial fan-out: deterministic event order
+		node.Processor.SetMemberPolicy(1, 0)
+		fed.Nodes = append(fed.Nodes, &Node{
+			Idx:     i,
+			Name:    name,
+			Host:    ep.Host(),
+			ORB:     o,
+			Core:    node,
+			Session: node.NewSession(),
+		})
+	}
+
+	// Seeded topology: the base coalition spans everyone; each named
+	// coalition gets a random subset (at least two members, so Leave has
+	// somewhere to go).
+	fed.Members = map[string][]int{BaseCoalition: allIndexes(cfg.Nodes)}
+	for c := 0; c < cfg.Coalitions; c++ {
+		name := fmt.Sprintf("c%d", c)
+		var members []int
+		for i := 0; i < cfg.Nodes; i++ {
+			if fed.rng.Intn(2) == 0 {
+				members = append(members, i)
+			}
+		}
+		for len(members) < 2 {
+			i := fed.rng.Intn(cfg.Nodes)
+			if !containsInt(members, i) {
+				members = insertSorted(members, i)
+			}
+		}
+		fed.Members[name] = members
+	}
+	for name, members := range fed.Members {
+		if err := fed.wireCoalition(name, members); err != nil {
+			fed.Close()
+			return nil, err
+		}
+	}
+	return fed, nil
+}
+
+// wireCoalition replicates a coalition class and its full member list into
+// every member's co-database — the symmetric state Join/Leave maintain.
+func (f *Fed) wireCoalition(name string, members []int) error {
+	for _, i := range members {
+		cd := f.Nodes[i].Core.CoDB
+		if !cd.HasCoalition(name) {
+			if err := cd.DefineCoalition(name, "", ""); err != nil {
+				return err
+			}
+		}
+		for _, j := range members {
+			if err := cd.AddMember(name, f.Nodes[j].Core.Descriptor); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close shuts down every ORB and the simulated network.
+func (f *Fed) Close() {
+	for _, n := range f.Nodes {
+		if n.ORB != nil {
+			n.ORB.Shutdown()
+		}
+	}
+	f.Net.Close()
+}
+
+// Partition cuts the simulated link between two nodes.
+func (f *Fed) Partition(a, b int) { f.Net.Partition(f.Nodes[a].Host, f.Nodes[b].Host) }
+
+// Heal restores the simulated link between two nodes.
+func (f *Fed) Heal(a, b int) { f.Net.Heal(f.Nodes[a].Host, f.Nodes[b].Host) }
+
+// HealAll restores every link.
+func (f *Fed) HealAll() { f.Net.HealAll() }
+
+// AdvanceTTL moves the virtual clock past the metadata-cache TTL, expiring
+// every blind-TTL (peer) cache entry. The model runner calls it between
+// steps so no peer metadata is carried across steps and the oracle stays
+// exact; version-verified local entries revalidate for free either way.
+func (f *Fed) AdvanceTTL() { f.Clock.Advance(f.TTL + time.Millisecond) }
+
+func allIndexes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func insertSorted(s []int, v int) []int {
+	s = append(s, v)
+	for i := len(s) - 1; i > 0 && s[i-1] > s[i]; i-- {
+		s[i-1], s[i] = s[i], s[i-1]
+	}
+	return s
+}

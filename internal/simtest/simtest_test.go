@@ -1,0 +1,153 @@
+package simtest
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+const modelSteps = 40
+
+// modelSeeds is the fixed seed matrix CI runs the model-based test over;
+// -simnet.seed=N narrows the run to one seed for replay.
+var modelSeeds = []int64{1, 2, 3, 4}
+
+func seedsUnderTest() []int64 {
+	if s := ReplaySeed(); s != 0 {
+		return []int64{s}
+	}
+	return modelSeeds
+}
+
+// TestModelAgainstOracle drives a seeded random workload — queries,
+// discovery, joins, leaves, partitions — through a six-node federation over
+// simnet and compares every response against the flat in-memory oracle,
+// checking the cross-cutting invariants after each step. A failure prints the
+// -simnet.seed one-liner that replays it deterministically.
+func TestModelAgainstOracle(t *testing.T) {
+	for _, seed := range seedsUnderTest() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res, err := RunSeed(Config{Seed: seed}, modelSteps)
+			if err != nil {
+				t.Fatalf("%v\n%s", err, ReplayLine(seed))
+			}
+			if len(res.Violations) == 0 {
+				return
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d violation(s) over %d steps\n", len(res.Violations), res.Steps)
+			for _, v := range res.Violations {
+				fmt.Fprintf(&b, "  %s\n", v)
+			}
+			fmt.Fprintf(&b, "event log:\n")
+			for _, l := range res.Log {
+				fmt.Fprintf(&b, "  %s\n", l)
+			}
+			t.Fatalf("%s%s", b.String(), ReplayLine(seed))
+		})
+	}
+}
+
+// TestModelDeterministicReplay runs the same seed twice and requires the two
+// normalized event logs to be identical line for line: same operations, same
+// responses, same member statuses, same verdict.
+func TestModelDeterministicReplay(t *testing.T) {
+	seed := int64(7)
+	if s := ReplaySeed(); s != 0 {
+		seed = s
+	}
+	first, err := RunSeed(Config{Seed: seed}, modelSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunSeed(Config{Seed: seed}, modelSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Log) != len(second.Log) {
+		t.Fatalf("run lengths differ: %d vs %d\n%s", len(first.Log), len(second.Log), ReplayLine(seed))
+	}
+	for i := range first.Log {
+		if first.Log[i] != second.Log[i] {
+			t.Fatalf("replay diverged at step %d:\n  run1: %s\n  run2: %s\n%s",
+				i, first.Log[i], second.Log[i], ReplayLine(seed))
+		}
+	}
+}
+
+// TestFederationOverSimnetNoSockets is the acceptance scenario: a six-node
+// federation boots, discovers, and answers a decomposed coalition query
+// entirely over the in-memory transport. The dial guard is structural — every
+// node lives on a "sim<id>-" host, a namespace no OS resolver or TCP stack
+// can reach — and the simnet dial counter proves the traffic went through it.
+func TestFederationOverSimnetNoSockets(t *testing.T) {
+	fed, err := Build(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if len(fed.Nodes) < 6 {
+		t.Fatalf("federation has %d nodes, want >= 6", len(fed.Nodes))
+	}
+
+	simHost := regexp.MustCompile(`^sim\d+-n\d+$`)
+	for _, n := range fed.Nodes {
+		if !simHost.MatchString(n.Host) {
+			t.Fatalf("node %s host %q is not in the simnet namespace", n.Name, n.Host)
+		}
+		if got := simnet.HostOf(n.ORB.Addr()); got != n.Host {
+			t.Fatalf("node %s ORB listens on %q, want host %q", n.Name, n.ORB.Addr(), n.Host)
+		}
+	}
+
+	ctx := context.Background()
+	sess := fed.Nodes[0].Session
+
+	// Discovery: the base coalition spans the federation, so a member finds
+	// it locally with a full score.
+	resp, err := sess.Execute(ctx, "Find Coalitions With Information "+BaseCoalition+";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Leads) == 0 || resp.Leads[0].Coalition != BaseCoalition {
+		t.Fatalf("discovery found %+v, want %s", resp.Leads, BaseCoalition)
+	}
+
+	// Browsing: the member list crosses the wire from the co-database servant.
+	resp, err = sess.Execute(ctx, "Display Instances of Class "+BaseCoalition+";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Names) != len(fed.Nodes) {
+		t.Fatalf("instances = %v, want all %d nodes", resp.Names, len(fed.Nodes))
+	}
+
+	// Decomposed query: every node answers its slice over simnet.
+	resp, err = sess.Execute(ctx, `V(R.K, (R.K = "a")) On Coalition `+BaseCoalition+";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Partial {
+		t.Fatalf("healthy federation answered partially: %+v", resp.Members)
+	}
+	if got := len(resp.Result.Rows); got != len(fed.Nodes) {
+		t.Fatalf("merged %d rows, want %d", got, len(fed.Nodes))
+	}
+
+	stats := fed.Net.Stats()
+	if stats.Dials == 0 || stats.Messages == 0 {
+		t.Fatalf("no simulated traffic recorded: %+v", stats)
+	}
+	var iiop int64
+	for _, n := range fed.Nodes {
+		iiop += n.ORB.Stats.IIOPCalls.Load()
+	}
+	if iiop == 0 {
+		t.Fatal("no IIOP calls recorded — colocation bypassed the wire?")
+	}
+}

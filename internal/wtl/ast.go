@@ -170,11 +170,14 @@ type FuncQuery struct {
 
 func (*FuncQuery) stmt() {}
 func (s *FuncQuery) String() string {
-	preds := make([]string, len(s.Preds))
-	for i, p := range s.Preds {
-		preds[i] = p.String()
+	out := fmt.Sprintf("%s(%s)", s.Function, s.ArgCol)
+	if len(s.Preds) > 0 {
+		preds := make([]string, len(s.Preds))
+		for i, p := range s.Preds {
+			preds[i] = p.String()
+		}
+		out = fmt.Sprintf("%s(%s, (%s))", s.Function, s.ArgCol, strings.Join(preds, " AND "))
 	}
-	out := fmt.Sprintf("%s(%s, (%s))", s.Function, s.ArgCol, strings.Join(preds, " AND "))
 	if s.Source != "" {
 		if s.OnCoalition {
 			out += " On Coalition " + s.Source

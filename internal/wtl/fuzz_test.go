@@ -1,0 +1,69 @@
+package wtl
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzWTLParse feeds arbitrary statement text to the WebTassili parser:
+// hostile input must produce a statement or an error, never a panic. For
+// inputs that parse, the rendered form must be a fixed point — String()
+// reparses to a statement that renders identically — so the printer and the
+// parser cannot drift apart.
+func FuzzWTLParse(f *testing.F) {
+	seeds := []string{
+		"Find Coalitions With Information Medical Research;",
+		"Connect To Coalition Research;",
+		"Display Coalitions;",
+		"Display Service Links;",
+		"Display SubClasses of Class Research;",
+		"Display Instances of Class Research;",
+		"Display Document of Instance Royal Brisbane Hospital Of Class Research;",
+		"Display Documentation of Instance Royal Brisbane Hospital;",
+		"Display Access Information of Instance Royal Brisbane Hospital;",
+		"Display Interface of Instance Royal Brisbane Hospital;",
+		"Search Type PatientHistory;",
+		"Create Coalition Superannuation;",
+		"Join Coalition Medical;",
+		"Leave Coalition Medical;",
+		`V(R.K, (R.K = "a")) On Coalition Records;`,
+		`History(P.Name, (P.Name = "Smith")) On Database RBH;`,
+		// Malformed shapes the parser must reject gracefully.
+		"Find Coalitions Information x;",
+		"Find Coalitions With Information ;",
+		"Display Instances;",
+		"V(R.K,;",
+		"",
+		";",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			if stmt != nil {
+				t.Fatalf("Parse(%q) returned both statement and error %v", src, err)
+			}
+			return
+		}
+		if !utf8.ValidString(src) {
+			// Rendering of mangled identifiers need not round-trip.
+			return
+		}
+		first := stmt.String()
+		again, err := Parse(first)
+		if err != nil {
+			t.Fatalf("rendered form does not reparse: %q -> %q: %v", src, first, err)
+		}
+		if second := again.String(); second != first {
+			t.Fatalf("render not a fixed point:\n  src:    %q\n  first:  %q\n  second: %q",
+				src, first, second)
+		}
+		if strings.TrimSpace(first) == "" {
+			t.Fatalf("Parse(%q) succeeded but renders empty", src)
+		}
+	})
+}
