@@ -1,21 +1,31 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout, so benchmark runs can be committed as machine-readable
-// artifacts (BENCH_PR4.json) and diffed across changes.
+// artifacts (BENCH_PR4.json, BENCH_PR6.json) and diffed across changes.
 //
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem . | go run ./cmd/benchjson > BENCH.json
+//	go run ./cmd/benchjson diff [-max-regress 20] [-bench Substr] OLD.json NEW.json
 //
-// Lines that are not benchmark results (the goos/goarch/pkg preamble, PASS,
-// ok) are folded into the environment header when recognised and otherwise
-// ignored, so the tool can consume raw `go test` output unfiltered.
+// In convert mode, lines that are not benchmark results (the goos/goarch/pkg
+// preamble, PASS, ok) are folded into the environment header when recognised
+// and otherwise ignored, so the tool can consume raw `go test` output
+// unfiltered.
+//
+// In diff mode, the two reports are joined on benchmark name (the trailing
+// -N GOMAXPROCS suffix is ignored, so runs from machines with different core
+// counts still match) and a delta table is printed. The exit status is 1 when
+// any benchmark present in both reports regressed in ns/op by more than
+// -max-regress percent, making the command usable as a CI gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,6 +52,13 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(diffMain(os.Args[2:]))
+	}
+	convertMain()
+}
+
+func convertMain() {
 	rep := Report{Results: []Result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -114,4 +131,141 @@ func parseBenchLine(line string) (Result, bool) {
 		}
 	}
 	return r, seen
+}
+
+// diffMain implements `benchjson diff OLD.json NEW.json`: print per-benchmark
+// deltas and return 1 when any shared benchmark regressed in ns/op beyond the
+// threshold.
+func diffMain(argv []string) int {
+	fs := flag.NewFlagSet("benchjson diff", flag.ExitOnError)
+	maxRegress := fs.Float64("max-regress", 20,
+		"fail when ns/op regresses by more than this percentage")
+	benchFilter := fs.String("bench", "",
+		"only compare benchmarks whose name contains one of these comma-separated substrings")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: benchjson diff [-max-regress PCT] [-bench SUBSTR] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(argv)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldRep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	oldByName := indexResults(oldRep)
+	newByName := indexResults(newRep)
+	names := make([]string, 0, len(oldByName))
+	for name := range oldByName {
+		if _, ok := newByName[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-28s %14s %14s %9s %14s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	failed := false
+	compared := 0
+	var filters []string
+	if *benchFilter != "" {
+		filters = strings.Split(*benchFilter, ",")
+	}
+	for _, name := range names {
+		if len(filters) > 0 && !matchesAny(name, filters) {
+			continue
+		}
+		o, n := oldByName[name], newByName[name]
+		compared++
+		pct := 0.0
+		if o.NsPerOp > 0 {
+			pct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		mark := ""
+		if pct > *maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%% %14s%s\n",
+			name, o.NsPerOp, n.NsPerOp, pct, allocsDelta(o, n), mark)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks in common between the two reports")
+		return 2
+	}
+	if failed {
+		fmt.Fprintf(w, "FAIL: ns/op regression beyond %.0f%% threshold\n", *maxRegress)
+		w.Flush()
+		return 1
+	}
+	fmt.Fprintf(w, "ok: %d benchmark(s) within %.0f%% threshold\n", compared, *maxRegress)
+	return 0
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// indexResults keys a report's results by benchmark name with the trailing
+// -N GOMAXPROCS suffix stripped, so BenchmarkFoo-8 and BenchmarkFoo-16 from
+// different machines compare as the same benchmark. Duplicate names keep the
+// first occurrence.
+func indexResults(rep *Report) map[string]Result {
+	out := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		name := stripProcSuffix(r.Name)
+		if _, ok := out[name]; !ok {
+			out[name] = r
+		}
+	}
+	return out
+}
+
+// stripProcSuffix removes a trailing -<digits> from a benchmark name.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+func matchesAny(name string, substrs []string) bool {
+	for _, s := range substrs {
+		if s != "" && strings.Contains(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func allocsDelta(o, n Result) string {
+	if o.AllocsPerOp == nil || n.AllocsPerOp == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f->%.0f", *o.AllocsPerOp, *n.AllocsPerOp)
 }

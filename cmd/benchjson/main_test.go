@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fp(v float64) *float64 { return &v }
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkSQLScanFilter-8   1502    795329 ns/op   147618 B/op   584 allocs/op")
+	if !ok {
+		t.Fatal("expected parse to succeed")
+	}
+	if r.Name != "BenchmarkSQLScanFilter-8" || r.Iterations != 1502 || r.NsPerOp != 795329 {
+		t.Fatalf("unexpected result %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 147618 || r.AllocsPerOp == nil || *r.AllocsPerOp != 584 {
+		t.Fatalf("unexpected memory stats %+v", r)
+	}
+	if _, ok := parseBenchLine("ok  repro 1.2s"); ok {
+		t.Fatal("non-benchmark line should not parse")
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":   "BenchmarkFoo",
+		"BenchmarkFoo-16":  "BenchmarkFoo",
+		"BenchmarkFoo":     "BenchmarkFoo",
+		"BenchmarkFoo-bar": "BenchmarkFoo-bar",
+		"BenchmarkFoo-":    "BenchmarkFoo-",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDiffWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	// Same benchmark under different GOMAXPROCS suffixes must still join.
+	oldPath := writeReport(t, dir, "old.json", Report{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1000, AllocsPerOp: fp(50)},
+		{Name: "BenchmarkB-8", NsPerOp: 2000},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Results: []Result{
+		{Name: "BenchmarkA-16", NsPerOp: 1100, AllocsPerOp: fp(40)},
+		{Name: "BenchmarkB-16", NsPerOp: 1500},
+	}})
+	if code := diffMain([]string{oldPath, newPath}); code != 0 {
+		t.Fatalf("diff within threshold: got exit %d, want 0", code)
+	}
+}
+
+func TestDiffRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", Report{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1000},
+		{Name: "BenchmarkB-8", NsPerOp: 1000},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1300}, // +30% > default 20%
+		{Name: "BenchmarkB-8", NsPerOp: 900},
+	}})
+	if code := diffMain([]string{oldPath, newPath}); code != 1 {
+		t.Fatalf("regression: got exit %d, want 1", code)
+	}
+	// A looser threshold accepts the same pair.
+	if code := diffMain([]string{"-max-regress", "50", oldPath, newPath}); code != 0 {
+		t.Fatalf("loose threshold: got exit %d, want 0", code)
+	}
+	// Filtering to the non-regressed benchmark passes.
+	if code := diffMain([]string{"-bench", "BenchmarkB", oldPath, newPath}); code != 0 {
+		t.Fatalf("filtered diff: got exit %d, want 0", code)
+	}
+	// A comma-separated filter list matches any of its entries.
+	if code := diffMain([]string{"-bench", "NoSuch,BenchmarkA", oldPath, newPath}); code != 1 {
+		t.Fatalf("comma filter including regressed benchmark: got exit %d, want 1", code)
+	}
+}
+
+func TestDiffDisjointReports(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", Report{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1000},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Results: []Result{
+		{Name: "BenchmarkZ-8", NsPerOp: 1000},
+	}})
+	if code := diffMain([]string{oldPath, newPath}); code != 2 {
+		t.Fatalf("disjoint reports: got exit %d, want 2", code)
+	}
+}

@@ -57,7 +57,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/naming"
 	"repro/internal/orb"
+	"repro/internal/relational"
 	"repro/internal/trace"
+	"repro/internal/wtl"
 )
 
 type nodeFile struct {
@@ -207,6 +209,15 @@ func main() {
 	if node.MDCache != nil {
 		tracer.Publish("mdcache", func() any { return node.MDCache.Snapshot() })
 	}
+	if node.RelDB != nil {
+		tracer.Publish("plancache", func() any { return node.RelDB.PlanCacheStats() })
+	}
+	tracer.Publish("parserpool", func() any {
+		return map[string]any{
+			"sql": relational.SQLParserPoolStats(),
+			"wtl": wtl.PoolStats(),
+		}
+	})
 	if cfg.MinMembers > 0 || cfg.MemberTimeoutMS > 0 {
 		node.Processor.SetMemberPolicy(cfg.MinMembers,
 			time.Duration(cfg.MemberTimeoutMS)*time.Millisecond)

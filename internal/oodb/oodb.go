@@ -449,8 +449,9 @@ func (db *DB) Extent(className string, deep bool) ([]*Object, error) {
 	if !ok {
 		return nil, fmt.Errorf("oodb: %s: no class %s", db.name, className)
 	}
-	var out []*Object
-	for _, id := range db.extents[strings.ToLower(className)] {
+	ids := db.extents[strings.ToLower(className)]
+	out := make([]*Object, 0, len(ids))
+	for _, id := range ids {
 		o := db.objects[id]
 		if o == nil {
 			continue

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Query evaluates a small OQL-style query against the database:
@@ -44,30 +45,102 @@ func Query(db *DB, q string) ([]string, [][]any, error) {
 		}
 	}
 
-	objs, err := db.Select(sel.class, sel.deep, func(o *Object) bool {
-		for _, c := range sel.conds {
-			if !c.match(o) {
-				return false
-			}
-		}
-		return true
-	})
+	objs, err := db.Extent(sel.class, sel.deep)
 	if err != nil {
 		return nil, nil, err
 	}
+	objs = filterExtent(objs, sel.conds)
 	// Stable output: sort by object ID.
 	sort.Slice(objs, func(i, j int) bool { return objs[i].ID() < objs[j].ID() })
 
+	// Attribute keys are lowered once for the whole result, not per row.
+	lcols := make([]string, len(cols))
+	for i, c := range cols {
+		lcols[i] = strings.ToLower(c)
+	}
 	rows := make([][]any, 0, len(objs))
 	for _, o := range objs {
 		row := make([]any, len(cols))
-		for i, c := range cols {
-			v, _ := o.Get(c)
-			row[i] = v
+		for i, lc := range lcols {
+			row[i] = o.attrs[lc]
 		}
 		rows = append(rows, row)
 	}
 	return cols, rows, nil
+}
+
+// oqlChunk is the extent filter's batch width; scratch buffers of this size
+// are pooled across queries.
+const oqlChunk = 1024
+
+type oqlScratch struct {
+	sel  []int
+	vals []any
+}
+
+var oqlScratchPool = sync.Pool{New: func() any {
+	return &oqlScratch{sel: make([]int, 0, oqlChunk), vals: make([]any, oqlChunk)}
+}}
+
+// filterExtent applies the WHERE conjunction batch-at-a-time: the extent is
+// walked in chunks, and each condition is evaluated over the surviving
+// objects' attribute values as one value batch, so per-object overhead (key
+// lowering, predicate closure calls) is paid once per condition per chunk
+// instead of once per object. Objects lacking the attribute never match, as
+// with Get. Output order is extent order, as with Select.
+func filterExtent(objs []*Object, conds []oqlCond) []*Object {
+	if len(conds) == 0 {
+		return objs
+	}
+	lattrs := make([]string, len(conds))
+	for i := range conds {
+		lattrs[i] = strings.ToLower(conds[i].attr)
+	}
+	sc := oqlScratchPool.Get().(*oqlScratch)
+	defer func() {
+		clear(sc.vals) // drop value references before pooling
+		oqlScratchPool.Put(sc)
+	}()
+	out := objs[:0:0]
+	for base := 0; base < len(objs); base += oqlChunk {
+		end := min(base+oqlChunk, len(objs))
+		sel := sc.sel[:0]
+		for oi := base; oi < end; oi++ {
+			sel = append(sel, oi)
+		}
+		for ci := range conds {
+			if len(sel) == 0 {
+				break
+			}
+			c := &conds[ci]
+			lattr := lattrs[ci]
+			// Gather the attribute value batch for the surviving selection.
+			k := 0
+			for _, oi := range sel {
+				v, ok := objs[oi].attrs[lattr]
+				if !ok {
+					continue
+				}
+				sel[k] = oi
+				sc.vals[k] = v
+				k++
+			}
+			sel = sel[:k]
+			// Evaluate the condition over the batch.
+			k = 0
+			for i, oi := range sel {
+				if c.matchValue(sc.vals[i]) {
+					sel[k] = oi
+					k++
+				}
+			}
+			sel = sel[:k]
+		}
+		for _, oi := range sel {
+			out = append(out, objs[oi])
+		}
+	}
+	return out
 }
 
 type oqlCond struct {
@@ -81,6 +154,12 @@ func (c *oqlCond) match(o *Object) bool {
 	if !ok {
 		return false
 	}
+	return c.matchValue(v)
+}
+
+// matchValue compares one already-fetched attribute value, the kernel shared
+// by the per-object match and the batched filterExtent path.
+func (c *oqlCond) matchValue(v any) bool {
 	if c.op == "LIKE" {
 		s, sok := v.(string)
 		p, pok := c.val.(string)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Result carries the outcome of one statement: column names and rows for
@@ -74,6 +75,17 @@ type Database struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table // by lower-cased name
 	indexes map[string]string // index name (lower) -> table name (lower)
+
+	// schemaVer is bumped by every DDL statement; cached plans parsed under
+	// an older version are re-parsed on next use (mirrors the federation
+	// metadata cache's version-stamp invalidation).
+	schemaVer atomic.Uint64
+	plans     *planCache
+
+	// rowExec forces the seed row-at-a-time interpreter instead of the
+	// batched executor; tests use it to compare both engines. Set it before
+	// issuing queries, not concurrently with them.
+	rowExec bool
 }
 
 // NewDatabase creates an empty database with the given dialect.
@@ -83,7 +95,44 @@ func NewDatabase(name string, dialect Dialect) *Database {
 		dialect: dialect,
 		tables:  make(map[string]*Table),
 		indexes: make(map[string]string),
+		plans:   newPlanCache(defaultPlanCacheCap),
 	}
+}
+
+// bumpSchema invalidates cached plans after a DDL change.
+func (db *Database) bumpSchema() { db.schemaVer.Add(1) }
+
+// SchemaVersion returns the monotonic DDL version counter.
+func (db *Database) SchemaVersion() uint64 { return db.schemaVer.Load() }
+
+// parseCached parses a script through the per-database plan cache. Entries
+// are keyed by exact query text and revalidated against the schema version,
+// so a plan cached before a CREATE/DROP is re-parsed on next use. Parse
+// errors are not cached.
+func (db *Database) parseCached(sql string) ([]Statement, error) {
+	v := db.schemaVer.Load()
+	if stmts, ok := db.plans.get(sql, v); ok {
+		return stmts, nil
+	}
+	stmts, err := ParseSQLScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(sql, stmts, v)
+	return stmts, nil
+}
+
+// parseOneCached is parseCached restricted to a single statement, matching
+// ParseSQL's contract.
+func (db *Database) parseOneCached(sql string) (Statement, error) {
+	stmts, err := db.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
 }
 
 // Name returns the database name.
@@ -115,7 +164,7 @@ func (db *Database) Table(name string) (*Table, bool) {
 
 // Exec parses and executes one statement outside any transaction.
 func (db *Database) Exec(sql string) (*Result, error) {
-	stmt, err := ParseSQL(sql)
+	stmt, err := db.parseOneCached(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +174,7 @@ func (db *Database) Exec(sql string) (*Result, error) {
 // ExecScript executes a semicolon-separated script, returning the last
 // result.
 func (db *Database) ExecScript(sql string) (*Result, error) {
-	stmts, err := ParseSQLScript(sql)
+	stmts, err := db.parseCached(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +190,7 @@ func (db *Database) ExecScript(sql string) (*Result, error) {
 
 // Query is Exec restricted to SELECT.
 func (db *Database) Query(sql string) (*Result, error) {
-	stmt, err := ParseSQL(sql)
+	stmt, err := db.parseOneCached(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -219,6 +268,7 @@ func (db *Database) execCreateTable(s *CreateTableStmt) (*Result, error) {
 		return nil, fmt.Errorf("relational: %s: table %s already exists", db.name, s.Schema.Name)
 	}
 	db.tables[key] = newTable(s.Schema)
+	db.bumpSchema()
 	return &Result{}, nil
 }
 
@@ -236,6 +286,7 @@ func (db *Database) execDropTable(s *DropTableStmt) (*Result, error) {
 			delete(db.indexes, ixName)
 		}
 	}
+	db.bumpSchema()
 	return &Result{}, nil
 }
 
@@ -256,6 +307,7 @@ func (db *Database) execCreateIndex(s *CreateIndexStmt) (*Result, error) {
 		return nil, err
 	}
 	db.indexes[ixKey] = strings.ToLower(s.Table)
+	db.bumpSchema()
 	return &Result{}, nil
 }
 
@@ -270,6 +322,7 @@ func (db *Database) execDropIndex(s *DropIndexStmt) (*Result, error) {
 		return nil, err
 	}
 	delete(db.indexes, ixKey)
+	db.bumpSchema()
 	return &Result{}, nil
 }
 
@@ -389,7 +442,10 @@ func (db *Database) execUpdate(s *UpdateStmt, tx *Tx) (*Result, error) {
 	}
 	res := &Result{}
 	for _, id := range ids {
-		old := t.rows[id]
+		old, ok := t.rowByID(id)
+		if !ok {
+			continue
+		}
 		env.row = old
 		newRow := old.Clone()
 		for _, op := range sets {
@@ -484,12 +540,16 @@ func matchingRowIDs(t *Table, where Expr, env *evalEnv) ([]int64, error) {
 	// indexed column.
 	if col, val, ok := indexableEquality(t, where, env); ok {
 		if candIDs, have := t.lookupEqual(col, val); have {
+			buf := make(Row, len(t.cols))
 			for _, id := range candIDs {
-				row, live := t.rows[id]
-				if !live {
+				s, ok := t.slots[id]
+				if !ok || !t.live[s] {
 					continue
 				}
-				if !visit(id, row) {
+				for c, cv := range t.cols {
+					buf[c] = cv[s]
+				}
+				if !visit(id, buf) {
 					break
 				}
 			}
@@ -582,7 +642,7 @@ func (s *Session) InTx() bool { return s.tx != nil }
 // Exec parses and executes one statement in the session, honouring
 // transaction control statements.
 func (s *Session) Exec(sql string) (*Result, error) {
-	stmt, err := ParseSQL(sql)
+	stmt, err := s.db.parseOneCached(sql)
 	if err != nil {
 		return nil, err
 	}

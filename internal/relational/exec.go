@@ -30,53 +30,20 @@ func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
 	return db.execSelectArm(s)
 }
 
-// execSelectArm runs one SELECT arm (no UNION handling).
+// execSelectArm runs one SELECT arm (no UNION handling), dispatching to the
+// batched columnar executor or — when rowExec is set — the seed row-at-a-time
+// interpreter kept as its test oracle. DISTINCT, OFFSET and LIMIT are shared
+// between the two engines.
 func (db *Database) execSelectArm(s *SelectStmt) (*Result, error) {
 	s, err := db.rewriteStmtSubqueries(s)
 	if err != nil {
 		return nil, err
 	}
-	src, residual, err := db.buildFrom(s)
-	if err != nil {
-		return nil, err
-	}
-
-	// Residual WHERE conjuncts (those not pushed into scans).
-	if len(residual) > 0 {
-		env := src.env()
-		kept := src.rows[:0:0]
-		for _, row := range src.rows {
-			env.row = row
-			ok := true
-			for _, conj := range residual {
-				v, err := eval(conj, env)
-				if err != nil {
-					return nil, err
-				}
-				b, valid := v.Truthy()
-				if !valid || !b {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				kept = append(kept, row)
-			}
-		}
-		src.rows = kept
-	}
-
-	items, err := expandStars(s.Items, src)
-	if err != nil {
-		return nil, err
-	}
-
-	grouped := len(s.GroupBy) > 0 || s.Having != nil || anyAggregate(items)
 	var out *Result
-	if grouped {
-		out, err = db.execGrouped(s, items, src)
+	if db.rowExec {
+		out, err = db.execSelectArmRows(s)
 	} else {
-		out, err = db.execPlain(s, items, src)
+		out, err = db.execSelectArmVec(s)
 	}
 	if err != nil {
 		return nil, err
@@ -108,6 +75,51 @@ func (db *Database) execSelectArm(s *SelectStmt) (*Result, error) {
 	return out, nil
 }
 
+// execSelectArmRows is the seed row-at-a-time interpreter, retained as the
+// oracle the batched executor is property-tested against.
+func (db *Database) execSelectArmRows(s *SelectStmt) (*Result, error) {
+	src, residual, err := db.buildFrom(s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Residual WHERE conjuncts (those not pushed into scans).
+	if len(residual) > 0 {
+		env := src.env()
+		kept := src.rows[:0:0]
+		for _, row := range src.rows {
+			env.row = row
+			ok := true
+			for _, conj := range residual {
+				v, err := eval(conj, env)
+				if err != nil {
+					return nil, err
+				}
+				b, valid := v.Truthy()
+				if !valid || !b {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		src.rows = kept
+	}
+
+	items, err := expandStars(s.Items, src.cols, src.names)
+	if err != nil {
+		return nil, err
+	}
+
+	grouped := len(s.GroupBy) > 0 || s.Having != nil || anyAggregate(items)
+	if grouped {
+		return db.execGrouped(s, items, src)
+	}
+	return db.execPlain(s, items, src)
+}
+
 // anyAggregate reports whether any projected expression aggregates.
 func anyAggregate(items []SelectItem) bool {
 	for _, it := range items {
@@ -119,7 +131,7 @@ func anyAggregate(items []SelectItem) bool {
 }
 
 // expandStars replaces * and t.* items with explicit column references.
-func expandStars(items []SelectItem, src *rel) ([]SelectItem, error) {
+func expandStars(items []SelectItem, cols []colBinding, names []string) ([]SelectItem, error) {
 	var out []SelectItem
 	for _, it := range items {
 		if !it.Star {
@@ -128,14 +140,14 @@ func expandStars(items []SelectItem, src *rel) ([]SelectItem, error) {
 		}
 		tbl := strings.ToLower(it.Table)
 		matched := false
-		for i, b := range src.cols {
+		for i, b := range cols {
 			if tbl != "" && b.table != tbl {
 				continue
 			}
 			matched = true
 			out = append(out, SelectItem{
-				Expr:  &ColRef{Table: src.cols[i].table, Name: src.cols[i].name},
-				Alias: src.names[i],
+				Expr:  &ColRef{Table: cols[i].table, Name: cols[i].name},
+				Alias: names[i],
 			})
 		}
 		if tbl != "" && !matched {
@@ -272,24 +284,7 @@ func (db *Database) execGrouped(s *SelectStmt, items []SelectItem, src *rel) (*R
 		res.Columns = append(res.Columns, itemName(it, i))
 	}
 
-	// Collect every aggregate call appearing anywhere in the query.
-	var aggCalls []*FuncCall
-	seenAgg := make(map[string]bool)
-	collect := func(e Expr) {
-		for _, f := range findAggregates(e) {
-			if !seenAgg[f.String()] {
-				seenAgg[f.String()] = true
-				aggCalls = append(aggCalls, f)
-			}
-		}
-	}
-	for _, it := range items {
-		collect(it.Expr)
-	}
-	collect(s.Having)
-	for _, oi := range s.OrderBy {
-		collect(oi.Expr)
-	}
+	aggCalls := collectAggCalls(s, items)
 
 	// Partition rows into groups.
 	env := src.env()
@@ -385,6 +380,30 @@ func (db *Database) execGrouped(s *SelectStmt, items []SelectItem, src *rel) (*R
 		}
 	}
 	return res, nil
+}
+
+// collectAggCalls gathers every distinct aggregate call appearing in the
+// select items, HAVING, and ORDER BY, deduplicated by rendered text (shared
+// by the row and batched group-by implementations).
+func collectAggCalls(s *SelectStmt, items []SelectItem) []*FuncCall {
+	var aggCalls []*FuncCall
+	seenAgg := make(map[string]bool)
+	collect := func(e Expr) {
+		for _, f := range findAggregates(e) {
+			if !seenAgg[f.String()] {
+				seenAgg[f.String()] = true
+				aggCalls = append(aggCalls, f)
+			}
+		}
+	}
+	for _, it := range items {
+		collect(it.Expr)
+	}
+	collect(s.Having)
+	for _, oi := range s.OrderBy {
+		collect(oi.Expr)
+	}
+	return aggCalls
 }
 
 // findAggregates returns the aggregate calls in an expression tree.
@@ -498,51 +517,49 @@ func computeAggregate(f *FuncCall, rows []Row, src *rel) (Value, error) {
 
 // ---- FROM clause construction (scans + joins with pushdown) ----
 
-// buildFrom materialises the FROM relation and returns the WHERE conjuncts
-// that were not pushed into scans.
-func (db *Database) buildFrom(s *SelectStmt) (*rel, []Expr, error) {
-	if len(s.From) == 0 {
-		// SELECT without FROM: one empty row.
-		return &rel{rows: []Row{{}}}, splitConjuncts(s.Where), nil
-	}
+// scanSpec pairs one FROM/JOIN table reference with its resolved table.
+type scanSpec struct {
+	ref TableRef
+	t   *Table
+}
 
-	// Full binding list (for pushdown legality checks).
-	type scanSpec struct {
-		ref TableRef
-		t   *Table
-	}
-	var specs []scanSpec
+// fromSpecs resolves every FROM and JOIN table reference, builds the
+// combined binding list (with display names), and partitions the WHERE
+// clause into per-binding pushed filters and residual conjuncts. LEFT JOIN
+// right sides keep their filters residual to preserve null-extension
+// semantics. Shared by the row and batched executors.
+func (db *Database) fromSpecs(s *SelectStmt) (specs []scanSpec, allCols []colBinding, names []string, pushed map[string][]Expr, residual []Expr, err error) {
 	for _, tr := range s.From {
-		t, err := db.table(tr.Name)
-		if err != nil {
-			return nil, nil, err
+		t, terr := db.table(tr.Name)
+		if terr != nil {
+			return nil, nil, nil, nil, nil, terr
 		}
 		specs = append(specs, scanSpec{ref: tr, t: t})
 	}
 	for _, jc := range s.Joins {
-		t, err := db.table(jc.Table.Name)
-		if err != nil {
-			return nil, nil, err
+		t, terr := db.table(jc.Table.Name)
+		if terr != nil {
+			return nil, nil, nil, nil, nil, terr
 		}
 		specs = append(specs, scanSpec{ref: jc.Table, t: t})
 	}
-	allCols := make([]colBinding, 0)
+	allCols = make([]colBinding, 0)
 	seenBinding := make(map[string]bool)
 	for _, sp := range specs {
 		b := strings.ToLower(sp.ref.Binding())
 		if seenBinding[b] {
-			return nil, nil, fmt.Errorf("sql: duplicate table binding %s", sp.ref.Binding())
+			return nil, nil, nil, nil, nil, fmt.Errorf("sql: duplicate table binding %s", sp.ref.Binding())
 		}
 		seenBinding[b] = true
 		for _, c := range sp.t.schema.Columns {
 			allCols = append(allCols, colBinding{table: b, name: strings.ToLower(c.Name)})
+			names = append(names, c.Name)
 		}
 	}
 
 	// Partition WHERE conjuncts: pushable to a single binding vs residual.
 	conjuncts := splitConjuncts(s.Where)
-	pushed := make(map[string][]Expr)
-	var residual []Expr
+	pushed = make(map[string][]Expr)
 	for _, conj := range conjuncts {
 		if tbl, ok := singleBinding(conj, allCols); ok {
 			pushed[tbl] = append(pushed[tbl], conj)
@@ -559,6 +576,21 @@ func (db *Database) buildFrom(s *SelectStmt) (*rel, []Expr, error) {
 			residual = append(residual, pushed[b]...)
 			delete(pushed, b)
 		}
+	}
+	return specs, allCols, names, pushed, residual, nil
+}
+
+// buildFrom materialises the FROM relation and returns the WHERE conjuncts
+// that were not pushed into scans.
+func (db *Database) buildFrom(s *SelectStmt) (*rel, []Expr, error) {
+	if len(s.From) == 0 {
+		// SELECT without FROM: one empty row.
+		return &rel{rows: []Row{{}}}, splitConjuncts(s.Where), nil
+	}
+
+	specs, _, _, pushed, residual, err := db.fromSpecs(s)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	scanOne := func(sp scanSpec) (*rel, error) {
@@ -578,7 +610,9 @@ func (db *Database) buildFrom(s *SelectStmt) (*rel, []Expr, error) {
 			r.names = append(r.names, c.Name)
 		}
 		for _, id := range ids {
-			r.rows = append(r.rows, sp.t.rows[id].Clone())
+			if row, ok := sp.t.rowByID(id); ok {
+				r.rows = append(r.rows, row)
+			}
 		}
 		return r, nil
 	}
@@ -736,7 +770,7 @@ func crossJoin(l, r *rel) *rel {
 // equiKeys extracts `left = right` column pairs from an ON expression when
 // the whole condition is a conjunction of such equalities, enabling a hash
 // join. Returns nil when the shape doesn't match.
-func equiKeys(on Expr, l, r *rel) (lk, rk []int) {
+func equiKeys(on Expr, lcols, rcols []colBinding) (lk, rk []int) {
 	for _, conj := range splitConjuncts(on) {
 		b, ok := conj.(*Binary)
 		if !ok || b.Op != "=" {
@@ -747,16 +781,16 @@ func equiKeys(on Expr, l, r *rel) (lk, rk []int) {
 		if !lok || !rok {
 			return nil, nil
 		}
-		li, lerr := (&evalEnv{cols: l.cols}).resolve(lc)
-		ri, rerr := (&evalEnv{cols: r.cols}).resolve(rc)
+		li, lerr := (&evalEnv{cols: lcols}).resolve(lc)
+		ri, rerr := (&evalEnv{cols: rcols}).resolve(rc)
 		if lerr == nil && rerr == nil {
 			lk = append(lk, li)
 			rk = append(rk, ri)
 			continue
 		}
 		// Try swapped sides.
-		li, lerr = (&evalEnv{cols: l.cols}).resolve(rc)
-		ri, rerr = (&evalEnv{cols: r.cols}).resolve(lc)
+		li, lerr = (&evalEnv{cols: lcols}).resolve(rc)
+		ri, rerr = (&evalEnv{cols: rcols}).resolve(lc)
 		if lerr == nil && rerr == nil {
 			lk = append(lk, li)
 			rk = append(rk, ri)
@@ -769,7 +803,7 @@ func equiKeys(on Expr, l, r *rel) (lk, rk []int) {
 
 func innerJoin(l, r *rel, on Expr) (*rel, error) {
 	out := joinedRel(l, r)
-	if lk, rk := equiKeys(on, l, r); lk != nil {
+	if lk, rk := equiKeys(on, l.cols, r.cols); lk != nil {
 		// Hash join.
 		ht := make(map[string][]Row, len(r.rows))
 		for _, rr := range r.rows {

@@ -105,7 +105,13 @@ func evalUnary(x *Unary, env *evalEnv) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	switch x.Op {
+	return applyUnary(x.Op, v)
+}
+
+// applyUnary applies a unary operator to an evaluated operand (shared by the
+// row interpreter and the batched executor).
+func applyUnary(op string, v Value) (Value, error) {
+	switch op {
 	case "-":
 		if v.Null {
 			return NullValue(), nil
@@ -127,7 +133,7 @@ func evalUnary(x *Unary, env *evalEnv) (Value, error) {
 		}
 		return BoolValue(!b), nil
 	}
-	return Value{}, fmt.Errorf("sql: unknown unary operator %s", x.Op)
+	return Value{}, fmt.Errorf("sql: unknown unary operator %s", op)
 }
 
 func evalBinary(x *Binary, env *evalEnv) (Value, error) {
@@ -182,13 +188,20 @@ func evalBinary(x *Binary, env *evalEnv) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	switch x.Op {
+	return applyBinary(x.Op, l, r)
+}
+
+// applyBinary applies a non-logical binary operator to evaluated operands.
+// Shared by the row interpreter and the batched executor so the two engines
+// cannot drift on operator semantics.
+func applyBinary(op string, l, r Value) (Value, error) {
+	switch op {
 	case "=", "<>", "<", "<=", ">", ">=":
 		if l.Null || r.Null {
 			return NullValue(), nil
 		}
 		c := Compare(l, r)
-		switch x.Op {
+		switch op {
 		case "=":
 			return BoolValue(c == 0), nil
 		case "<>":
@@ -213,9 +226,9 @@ func evalBinary(x *Binary, env *evalEnv) (Value, error) {
 		}
 		return TextValue(l.String() + r.String()), nil
 	case "+", "-", "*", "/", "%":
-		return evalArith(x.Op, l, r)
+		return evalArith(op, l, r)
 	}
-	return Value{}, fmt.Errorf("sql: unknown operator %s", x.Op)
+	return Value{}, fmt.Errorf("sql: unknown operator %s", op)
 }
 
 func evalArith(op string, l, r Value) (Value, error) {
@@ -328,6 +341,12 @@ func evalScalarFunc(f *FuncCall, env *evalEnv) (Value, error) {
 		}
 		args[i] = v
 	}
+	return applyScalarFunc(f, args)
+}
+
+// applyScalarFunc applies a scalar function to evaluated arguments (shared by
+// the row interpreter and the batched executor).
+func applyScalarFunc(f *FuncCall, args []Value) (Value, error) {
 	need := func(n int) error {
 		if len(args) != n {
 			return fmt.Errorf("sql: %s takes %d argument(s), got %d", f.Name, n, len(args))

@@ -1,10 +1,18 @@
 package relational
 
-import "testing"
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
 
 // FuzzSQLParse feeds arbitrary SQL text to the statement and script parsers:
 // any input must produce statements or an error, never a panic, and a script
-// parse must never half-succeed (statements alongside an error).
+// parse must never half-succeed (statements alongside an error). Successful
+// parses are then round-tripped through the plan cache — the second fetch
+// must be a hit returning an identical statement list — and executed on both
+// the batched and the row-at-a-time engine, which must agree on error
+// presence and, when both succeed, on the result.
 func FuzzSQLParse(f *testing.F) {
 	seeds := []string{
 		"CREATE TABLE Patient (Id INT PRIMARY KEY, Name VARCHAR(64), Gender CHAR(1))",
@@ -22,6 +30,11 @@ func FuzzSQLParse(f *testing.F) {
 		"ROLLBACK",
 		`CREATE TABLE r (k VARCHAR(16) PRIMARY KEY, v INT);
 		INSERT INTO r VALUES ('a', 0);`,
+		// Plan-cache round trips that cross a schema change.
+		"SELECT a, b FROM f; CREATE TABLE g (x INT); SELECT a, b FROM f",
+		"SELECT v FROM f WHERE a IN (1, 2) UNION SELECT v FROM f",
+		"SELECT a, SUM(b) FROM f GROUP BY a ORDER BY 2 DESC LIMIT 3",
+		"SELECT x.a, y.a FROM f x LEFT JOIN f y ON x.a = y.b WHERE x.b / 2 > 0",
 		// Malformed shapes the parser must reject gracefully.
 		"SELECT FROM",
 		"INSERT Patient",
@@ -41,6 +54,63 @@ func FuzzSQLParse(f *testing.F) {
 		stmts, err := ParseSQLScript(src)
 		if err != nil && len(stmts) > 0 {
 			t.Fatalf("ParseSQLScript(%q) returned %d statements and error %v", src, len(stmts), err)
+		}
+
+		// Plan-cache round trip: parse through the cache, then re-fetch. The
+		// second call must be a hit (no DDL ran in between) and return a
+		// deeply identical statement list.
+		vec := NewDatabase("fuzz-vec", DialectOracle)
+		s1, err1 := vec.parseCached(src)
+		if (err1 != nil) != (err != nil) {
+			t.Fatalf("parseCached(%q) error %v, ParseSQLScript error %v", src, err1, err)
+		}
+		if err1 != nil {
+			return
+		}
+		pre := vec.PlanCacheStats()
+		s2, err2 := vec.parseCached(src)
+		if err2 != nil {
+			t.Fatalf("re-fetch of cached %q failed: %v", src, err2)
+		}
+		post := vec.PlanCacheStats()
+		if post.Hits != pre.Hits+1 {
+			t.Fatalf("re-fetch of %q was not a cache hit: pre %+v post %+v", src, pre, post)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("cache returned a different statement list for %q", src)
+		}
+
+		// Differential execution: the same script on the batched and the
+		// row-at-a-time engine, over a tiny shared schema, must agree on
+		// error presence and on the final result. Gate out inputs whose
+		// cartesian cost could explode (many FROM sources / commas / rows):
+		// the fuzzer would otherwise discover multi-way cross joins that
+		// trip the per-input hang timeout rather than a real bug.
+		up := strings.ToUpper(src)
+		cost := strings.Count(up, "FROM") + strings.Count(up, "JOIN") + strings.Count(up, ",")
+		if len(src) > 300 || cost > 4 {
+			return
+		}
+		row := NewDatabase("fuzz-row", DialectOracle)
+		row.rowExec = true
+		const schema = `
+CREATE TABLE f (a INT, b INT, v VARCHAR(8));
+INSERT INTO f VALUES (1, 2, 'x');
+INSERT INTO f VALUES (2, NULL, 'y');
+INSERT INTO f VALUES (3, 2, NULL);
+`
+		for _, db := range []*Database{vec, row} {
+			if _, err := db.ExecScript(schema); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rv, errV := vec.ExecScript(src)
+		rr, errR := row.ExecScript(src)
+		if (errV != nil) != (errR != nil) {
+			t.Fatalf("engines disagree on error for %q:\n  vec: %v\n  row: %v", src, errV, errR)
+		}
+		if errV == nil && !reflect.DeepEqual(rv, rr) {
+			t.Fatalf("engines disagree on result for %q:\nvec: %+v\nrow: %+v", src, rv, rr)
 		}
 	})
 }

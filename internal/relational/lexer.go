@@ -55,7 +55,12 @@ var sqlKeywords = map[string]bool{
 
 // lexSQL tokenises a SQL text.
 func lexSQL(src string) ([]token, error) {
-	var toks []token
+	return lexSQLInto(src, nil)
+}
+
+// lexSQLInto tokenises into a caller-provided buffer (reset to length zero),
+// letting pooled parsers reuse their token arrays across statements.
+func lexSQLInto(src string, toks []token) ([]token, error) {
 	i := 0
 	n := len(src)
 	for i < n {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // ParseSQL parses a single SQL statement (a trailing semicolon is allowed).
@@ -18,13 +20,48 @@ func ParseSQL(src string) (Statement, error) {
 	return stmts[0], nil
 }
 
+// sqlParserPool recycles parser state (chiefly the token slice) across
+// calls; parsing a statement then costs no token-array allocations once the
+// pool is warm. Returned ASTs hold only strings, never tokens, so reuse
+// cannot leak state between queries.
+var (
+	sqlParserPool = sync.Pool{New: func() any {
+		sqlParserNews.Add(1)
+		return &sqlParser{}
+	}}
+	sqlParserGets atomic.Uint64
+	sqlParserNews atomic.Uint64
+)
+
+// ParserPoolStats reports pooled-parser reuse: a hit is a Get served from
+// the pool, a miss is a Get that had to allocate fresh state.
+type ParserPoolStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// SQLParserPoolStats snapshots the SQL parser pool counters.
+func SQLParserPoolStats() ParserPoolStats {
+	gets, news := sqlParserGets.Load(), sqlParserNews.Load()
+	return ParserPoolStats{Hits: gets - news, Misses: news}
+}
+
 // ParseSQLScript parses a semicolon-separated sequence of statements.
 func ParseSQLScript(src string) ([]Statement, error) {
-	toks, err := lexSQL(src)
+	sqlParserGets.Add(1)
+	p := sqlParserPool.Get().(*sqlParser)
+	defer func() {
+		clear(p.toks) // drop string references before pooling
+		p.toks = p.toks[:0]
+		p.pos = 0
+		sqlParserPool.Put(p)
+	}()
+	toks, err := lexSQLInto(src, p.toks[:0])
+	p.toks = toks
 	if err != nil {
 		return nil, err
 	}
-	p := &sqlParser{toks: toks}
+	p.pos = 0
 	var stmts []Statement
 	for {
 		for p.peek().text == ";" {

@@ -478,13 +478,12 @@ func (db *Database) explainSelect(s *SelectStmt) (*Result, error) {
 				// Probe for hash-join eligibility against the left side's
 				// accumulated columns (conservative: full binding set).
 				strategy := "nested-loop join"
-				leftRel := &rel{cols: allCols}
-				rightRel := &rel{}
+				var rightCols []colBinding
 				b := strings.ToLower(sp.ref.Binding())
 				for _, c := range sp.t.schema.Columns {
-					rightRel.cols = append(rightRel.cols, colBinding{table: b, name: strings.ToLower(c.Name)})
+					rightCols = append(rightCols, colBinding{table: b, name: strings.ToLower(c.Name)})
 				}
-				if lk, _ := equiKeys(jc.On, leftRel, rightRel); lk != nil {
+				if lk, _ := equiKeys(jc.On, allCols, rightCols); lk != nil {
 					strategy = "hash join"
 				}
 				emit(depth, "%s on %s", strategy, jc.On.String())

@@ -28,14 +28,18 @@ func (ix *Index) keyFor(row Row) Value {
 	return TextValue(encodeKey(vals))
 }
 
-// Table is one heap-organised table with optional indexes. All access is
-// mediated by the owning Database's lock.
+// Table is one table with optional indexes, stored column-major: cols[c][s]
+// holds the value of column c in slot s, so the batched executor can scan a
+// column as one contiguous vector. Slots are append-only between
+// compactions, which keeps slot order equal to insertion order. All access
+// is mediated by the owning Database's lock.
 type Table struct {
 	schema  Schema
-	rows    map[int64]Row
-	order   []int64        // insertion order; may contain IDs of deleted rows
-	inOrder map[int64]bool // IDs present in order (live or tombstoned)
-	holes   int            // deleted entries still present in order
+	cols    [][]Value     // one value vector per schema column; equal lengths
+	ids     []int64       // slot -> row ID
+	live    []bool        // slot liveness; false marks a tombstone
+	slots   map[int64]int // row ID -> slot, for live rows and tombstones
+	dead    int           // tombstoned slots not yet compacted away
 	nextID  int64
 	indexes map[string]*Index // by lower-cased index name
 	pk      *Index            // non-nil when the schema has a primary key
@@ -44,8 +48,8 @@ type Table struct {
 func newTable(schema Schema) *Table {
 	t := &Table{
 		schema:  schema,
-		rows:    make(map[int64]Row),
-		inOrder: make(map[int64]bool),
+		cols:    make([][]Value, len(schema.Columns)),
+		slots:   make(map[int64]int),
 		indexes: make(map[string]*Index),
 	}
 	if len(schema.PrimaryKey) > 0 {
@@ -63,7 +67,7 @@ func newTable(schema Schema) *Table {
 func (t *Table) Schema() *Schema { return &t.schema }
 
 // Len reports the live row count.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int { return len(t.ids) - t.dead }
 
 // checkRow validates a row against column constraints and coerces values to
 // the declared types.
@@ -90,6 +94,34 @@ func (t *Table) checkRow(row Row) (Row, error) {
 	return out, nil
 }
 
+// appendRow appends a row in a fresh slot at the end of the scan order.
+func (t *Table) appendRow(id int64, row Row) {
+	for c := range t.cols {
+		t.cols[c] = append(t.cols[c], row[c])
+	}
+	t.ids = append(t.ids, id)
+	t.live = append(t.live, true)
+	t.slots[id] = len(t.ids) - 1
+}
+
+// rowAt materialises a copy of the row stored in the given slot.
+func (t *Table) rowAt(s int) Row {
+	row := make(Row, len(t.cols))
+	for c, col := range t.cols {
+		row[c] = col[s]
+	}
+	return row
+}
+
+// rowByID materialises a copy of the live row with the given ID.
+func (t *Table) rowByID(id int64) (Row, bool) {
+	s, ok := t.slots[id]
+	if !ok || !t.live[s] {
+		return nil, false
+	}
+	return t.rowAt(s), true
+}
+
 // insert adds a row, enforcing uniqueness, and returns its row ID.
 func (t *Table) insert(row Row) (int64, error) {
 	row, err := t.checkRow(row)
@@ -101,26 +133,26 @@ func (t *Table) insert(row Row) (int64, error) {
 	}
 	t.nextID++
 	id := t.nextID
-	t.rows[id] = row
-	t.order = append(t.order, id)
-	t.inOrder[id] = true
+	t.appendRow(id, row)
 	t.indexRow(id, row)
 	return id, nil
 }
 
 // insertWithID restores a row under a prior ID (transaction rollback path).
-// If the ID's tombstone is still in the scan order, the row reappears at its
-// original position.
+// If the ID's tombstoned slot is still present, the row reappears at its
+// original position in the scan order.
 func (t *Table) insertWithID(id int64, row Row) error {
-	if _, exists := t.rows[id]; exists {
-		return fmt.Errorf("relational: table %s: row %d already exists", t.schema.Name, id)
-	}
-	t.rows[id] = row
-	if t.inOrder[id] {
-		t.holes--
+	if s, ok := t.slots[id]; ok {
+		if t.live[s] {
+			return fmt.Errorf("relational: table %s: row %d already exists", t.schema.Name, id)
+		}
+		for c := range t.cols {
+			t.cols[c][s] = row[c]
+		}
+		t.live[s] = true
+		t.dead--
 	} else {
-		t.order = append(t.order, id)
-		t.inOrder[id] = true
+		t.appendRow(id, row)
 	}
 	t.indexRow(id, row)
 	return nil
@@ -176,23 +208,28 @@ func (t *Table) unindexRow(id int64, row Row) {
 
 // delete removes the row with the given ID and returns the old row.
 func (t *Table) delete(id int64) (Row, error) {
-	row, ok := t.rows[id]
-	if !ok {
+	s, ok := t.slots[id]
+	if !ok || !t.live[s] {
 		return nil, fmt.Errorf("relational: table %s: no row %d", t.schema.Name, id)
 	}
-	delete(t.rows, id)
+	row := t.rowAt(s)
+	t.live[s] = false
+	t.dead++
+	for c := range t.cols {
+		t.cols[c][s] = Value{} // release payload references
+	}
 	t.unindexRow(id, row)
-	t.holes++
-	t.maybeCompactOrder()
+	t.maybeCompact()
 	return row, nil
 }
 
 // update replaces the row with the given ID and returns the old row.
 func (t *Table) update(id int64, newRow Row) (Row, error) {
-	old, ok := t.rows[id]
-	if !ok {
+	s, ok := t.slots[id]
+	if !ok || !t.live[s] {
 		return nil, fmt.Errorf("relational: table %s: no row %d", t.schema.Name, id)
 	}
+	old := t.rowAt(s)
 	newRow, err := t.checkRow(newRow)
 	if err != nil {
 		return nil, err
@@ -201,36 +238,59 @@ func (t *Table) update(id int64, newRow Row) (Row, error) {
 		return nil, err
 	}
 	t.unindexRow(id, old)
-	t.rows[id] = newRow
+	for c := range t.cols {
+		t.cols[c][s] = newRow[c]
+	}
 	t.indexRow(id, newRow)
 	return old, nil
 }
 
-// maybeCompactOrder drops deleted IDs from the scan order when they dominate.
-func (t *Table) maybeCompactOrder() {
-	if t.holes < 64 || t.holes*2 < len(t.order) {
+// maybeCompact squeezes tombstoned slots out of the column vectors when they
+// dominate, preserving the relative order of live rows.
+func (t *Table) maybeCompact() {
+	if t.dead < 64 || t.dead*2 < len(t.ids) {
 		return
 	}
-	live := t.order[:0]
-	for _, id := range t.order {
-		if _, ok := t.rows[id]; ok {
-			live = append(live, id)
-		} else {
-			delete(t.inOrder, id)
-		}
-	}
-	t.order = live
-	t.holes = 0
-}
-
-// scan visits live rows in insertion order; fn returns false to stop.
-func (t *Table) scan(fn func(id int64, row Row) bool) {
-	for _, id := range t.order {
-		row, ok := t.rows[id]
-		if !ok {
+	w := 0
+	for s, id := range t.ids {
+		if !t.live[s] {
+			delete(t.slots, id)
 			continue
 		}
-		if !fn(id, row) {
+		if w != s {
+			for c := range t.cols {
+				t.cols[c][w] = t.cols[c][s]
+			}
+			t.ids[w] = id
+			t.slots[id] = w
+		}
+		w++
+	}
+	for c := range t.cols {
+		clear(t.cols[c][w:])
+		t.cols[c] = t.cols[c][:w]
+	}
+	t.ids = t.ids[:w]
+	t.live = t.live[:w]
+	for s := range t.live {
+		t.live[s] = true
+	}
+	t.dead = 0
+}
+
+// scan visits live rows in insertion order; fn returns false to stop. The
+// row passed to fn aliases a buffer reused across calls and must not be
+// retained past the callback.
+func (t *Table) scan(fn func(id int64, row Row) bool) {
+	buf := make(Row, len(t.cols))
+	for s, id := range t.ids {
+		if !t.live[s] {
+			continue
+		}
+		for c, col := range t.cols {
+			buf[c] = col[s]
+		}
+		if !fn(id, buf) {
 			return
 		}
 	}
@@ -285,17 +345,23 @@ func (t *Table) createIndex(name string, col int, unique bool) error {
 	ix := &Index{Name: name, Cols: []int{col}, Unique: unique, tree: newBTree()}
 	// Verify uniqueness before publishing the index.
 	if unique {
-		seen := make(map[string]bool, len(t.rows))
-		for _, row := range t.rows {
+		seen := make(map[string]bool, t.Len())
+		var dupErr error
+		t.scan(func(_ int64, row Row) bool {
 			v := ix.keyFor(row)
 			if v.Null {
-				continue
+				return true
 			}
 			k := encodeKey([]Value{v})
 			if seen[k] {
-				return fmt.Errorf("relational: cannot create unique index %s: duplicate value %s", name, v)
+				dupErr = fmt.Errorf("relational: cannot create unique index %s: duplicate value %s", name, v)
+				return false
 			}
 			seen[k] = true
+			return true
+		})
+		if dupErr != nil {
+			return dupErr
 		}
 	}
 	t.scan(func(id int64, row Row) bool {

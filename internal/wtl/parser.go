@@ -3,18 +3,55 @@ package wtl
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
+
+// parserPool recycles parser state (chiefly the token slice) across Parse
+// calls — the WTL gateway parses every inbound statement, so token arrays
+// are the parser's dominant allocation. Parsed statements retain only
+// strings, never tokens, so reuse cannot leak state between statements.
+var (
+	parserPool = sync.Pool{New: func() any {
+		parserNews.Add(1)
+		return &parser{}
+	}}
+	parserGets atomic.Uint64
+	parserNews atomic.Uint64
+)
+
+// ParserPoolStats reports pooled-parser reuse: a hit is a Get served from
+// the pool, a miss is a Get that had to allocate fresh state.
+type ParserPoolStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// PoolStats snapshots the WTL parser pool counters.
+func PoolStats() ParserPoolStats {
+	gets, news := parserGets.Load(), parserNews.Load()
+	return ParserPoolStats{Hits: gets - news, Misses: news}
+}
 
 // Parse parses one WebTassili statement (a trailing semicolon is optional,
 // matching the paper's examples which are inconsistent about it). Keywords
 // are case-insensitive; names may span several words, as in
 // `Display Document Of Instance Royal Brisbane Hospital Of Class Research;`.
 func Parse(src string) (Stmt, error) {
-	toks, err := lex(src)
+	parserGets.Add(1)
+	p := parserPool.Get().(*parser)
+	defer func() {
+		clear(p.toks) // drop string references before pooling
+		p.toks = p.toks[:0]
+		p.pos = 0
+		parserPool.Put(p)
+	}()
+	toks, err := lexInto(src, p.toks[:0])
+	p.toks = toks
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p.pos = 0
 	stmt, err := p.parseStmt()
 	if err != nil {
 		return nil, err
@@ -41,7 +78,12 @@ type tok struct {
 }
 
 func lex(src string) ([]tok, error) {
-	var toks []tok
+	return lexInto(src, nil)
+}
+
+// lexInto tokenises into a caller-provided buffer (reset to length zero),
+// letting pooled parsers reuse their token arrays across statements.
+func lexInto(src string, toks []tok) ([]tok, error) {
 	i := 0
 	for i < len(src) {
 		c := src[i]
