@@ -89,11 +89,18 @@ type nodeFile struct {
 	// Federation metadata cache knobs. TTL -1 disables the cache entirely;
 	// 0 keeps the built-in defaults (2s positive, 250ms negative, 4096
 	// entries). Stats are published at /debug/metrics under "mdcache".
-	MDCacheTTLMS      int                 `json:"mdcache_ttl_ms"`
-	MDCacheNegTTLMS   int                 `json:"mdcache_neg_ttl_ms"`
-	MDCacheMaxEntries int                 `json:"mdcache_max_entries"`
-	Chaos             *orb.FaultPlan      `json:"chaos"`
-	Interface         []codb.ExportedType `json:"interface"`
+	MDCacheTTLMS      int `json:"mdcache_ttl_ms"`
+	MDCacheNegTTLMS   int `json:"mdcache_neg_ttl_ms"`
+	MDCacheMaxEntries int `json:"mdcache_max_entries"`
+	// Federated planner knobs. DisablePushdown runs every coalition member
+	// on the bare fragment with full coordinator compensation (the planner's
+	// differential-testing mode); MergeBufRows bounds each member's
+	// streaming-merge channel (0 = default 64). Planner counters are
+	// published at /debug/metrics under "planner".
+	DisablePushdown bool                `json:"disable_pushdown"`
+	MergeBufRows    int                 `json:"merge_buf_rows"`
+	Chaos           *orb.FaultPlan      `json:"chaos"`
+	Interface       []codb.ExportedType `json:"interface"`
 	// InterfaceWTL declares the exported interface in the paper's WebTassili
 	// syntax (Type X { attribute ...; function ...; }) instead of JSON.
 	InterfaceWTL string `json:"interface_wtl"`
@@ -202,6 +209,8 @@ func main() {
 		MDCacheTTL:        time.Duration(max(cfg.MDCacheTTLMS, 0)) * time.Millisecond,
 		MDCacheNegTTL:     time.Duration(cfg.MDCacheNegTTLMS) * time.Millisecond,
 		MDCacheMaxEntries: cfg.MDCacheMaxEntries,
+		DisablePushdown:   cfg.DisablePushdown,
+		MergeBufRows:      cfg.MergeBufRows,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -212,6 +221,7 @@ func main() {
 	if node.RelDB != nil {
 		tracer.Publish("plancache", func() any { return node.RelDB.PlanCacheStats() })
 	}
+	tracer.Publish("planner", func() any { return node.Processor.PlannerStats() })
 	tracer.Publish("parserpool", func() any {
 		return map[string]any{
 			"sql": relational.SQLParserPoolStats(),
@@ -227,15 +237,32 @@ func main() {
 	fmt.Printf("CoDatabase IOR: %s\n", node.Descriptor.CoDBRef)
 
 	if cfg.Naming != "" {
-		nc, err := naming.ClientFor(o, cfg.Naming)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := nc.Rebind("WebFINDIT/CoDatabases/"+cfg.Name, node.Descriptor.CoDBRef); err != nil {
-			log.Fatalf("register co-database: %v", err)
-		}
-		if err := nc.Rebind("WebFINDIT/ISIs/"+cfg.Name, node.Descriptor.ISIRef); err != nil {
-			log.Fatalf("register ISI: %v", err)
+		// The naming host may still be coming up when a federation is launched
+		// as a batch of processes, so registration retries briefly instead of
+		// failing on the first refused dial.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			err := func() error {
+				nc, err := naming.ClientFor(o, cfg.Naming)
+				if err != nil {
+					return err
+				}
+				if err := nc.Rebind("WebFINDIT/CoDatabases/"+cfg.Name, node.Descriptor.CoDBRef); err != nil {
+					return fmt.Errorf("register co-database: %w", err)
+				}
+				if err := nc.Rebind("WebFINDIT/ISIs/"+cfg.Name, node.Descriptor.ISIRef); err != nil {
+					return fmt.Errorf("register ISI: %w", err)
+				}
+				return nil
+			}()
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("register with naming service: %v", err)
+			}
+			log.Printf("register with naming service: %v (retrying)", err)
+			time.Sleep(200 * time.Millisecond)
 		}
 		log.Printf("registered with naming service at %s", cfg.Naming)
 	}

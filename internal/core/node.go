@@ -72,6 +72,20 @@ type NodeConfig struct {
 	// virtual clock so TTL expiry is a virtual-time event that tests
 	// advance explicitly.
 	Clock func() time.Time
+
+	// AdvertiseEngine, when set, is the engine name the node's source
+	// descriptor claims instead of Engine. The node still runs Engine
+	// underneath — this models metadata drift (a member whose co-database
+	// entry is stale), which the federated planner must tolerate by falling
+	// back to full compensation when a pushed clause is rejected.
+	AdvertiseEngine string
+	// DisablePushdown starts the node's query processor with predicate and
+	// limit pushdown off (see query.Config.DisablePushdown). Differential
+	// tests build one federation per mode and require identical answers.
+	DisablePushdown bool
+	// MergeBufRows bounds each member's streaming-merge channel (see
+	// query.Config.MergeBufRows); 0 keeps the default (64).
+	MergeBufRows int
 }
 
 // Node is one running WebFINDIT participant.
@@ -160,16 +174,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if location == "" {
 		location = cfg.ORB.Addr()
 	}
+	advertised := cfg.Engine
+	if cfg.AdvertiseEngine != "" {
+		advertised = cfg.AdvertiseEngine
+	}
 	n.Descriptor = &codb.SourceDescriptor{
 		Name:            cfg.Name,
 		InformationType: cfg.InformationType,
 		Documentation:   cfg.Documentation,
 		DocumentHTML:    cfg.DocumentHTML,
 		Location:        location,
-		Wrapper:         "WebTassili" + cfg.Engine,
+		Wrapper:         "WebTassili" + advertised,
 		ISIRef:          orb.Stringify(isiIOR),
 		CoDBRef:         orb.Stringify(codbIOR),
-		Engine:          cfg.Engine,
+		Engine:          advertised,
 		ORB:             string(cfg.ORB.Product()),
 		Interface:       cfg.Interface,
 	}
@@ -186,12 +204,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		})
 	}
 	n.Processor, err = query.New(query.Config{
-		ORB:            cfg.ORB,
-		Home:           cfg.Name,
-		HomeDescriptor: n.Descriptor,
-		Local:          codb.NewClient(cfg.ORB.Resolve(codbIOR)),
-		LocalCoDB:      n.CoDB,
-		Cache:          n.MDCache,
+		ORB:             cfg.ORB,
+		Home:            cfg.Name,
+		HomeDescriptor:  n.Descriptor,
+		Local:           codb.NewClient(cfg.ORB.Resolve(codbIOR)),
+		LocalCoDB:       n.CoDB,
+		Cache:           n.MDCache,
+		DisablePushdown: cfg.DisablePushdown,
+		MergeBufRows:    cfg.MergeBufRows,
 	})
 	if err != nil {
 		return nil, err

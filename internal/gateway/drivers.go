@@ -11,6 +11,35 @@ import (
 	"repro/internal/relational"
 )
 
+// Capabilities is a vendor's pushdown profile: which parts of a coalition
+// function query the engine can evaluate itself, so the federated planner
+// knows what to ship into the fragment and what to compensate for at the
+// coordinator. Profiles are keyed by the engine name a source descriptor
+// advertises — which is a claim, not a guarantee; the executor still
+// tolerates an engine rejecting a pushed clause at run time.
+type Capabilities struct {
+	Predicates bool // evaluates pushed comparison conjuncts (= <> < <= > >=)
+	Like       bool // evaluates pushed LIKE patterns
+	Limit      bool // honours a pushed LIMIT clause
+}
+
+// CapsFor resolves the capability profile for an advertised engine name.
+// Relational vendors derive from their dialect profile (mSQL 2.x shipped
+// RLIKE/CLIKE instead of standard LIKE, so LIKE stays at the coordinator);
+// the object engines evaluate every predicate but their OQL grammar has no
+// LIMIT clause. An unknown engine gets the zero profile — push nothing, the
+// coordinator compensates for everything.
+func CapsFor(engine string) Capabilities {
+	switch engine {
+	case "ObjectStore", "Ontos":
+		return Capabilities{Predicates: true, Like: true, Limit: false}
+	}
+	if d, err := relational.DialectByName(engine); err == nil {
+		return Capabilities{Predicates: true, Like: d.Like, Limit: d.OrderLimit}
+	}
+	return Capabilities{}
+}
+
 // RelationalDriver serves connections to registered in-process relational
 // engine instances. One driver instance is registered per vendor scheme
 // ("oracle", "msql", "db2", "sybase"); Open(name) connects to the database

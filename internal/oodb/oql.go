@@ -186,6 +186,17 @@ func (c *oqlCond) matchValue(v any) bool {
 	return false
 }
 
+// MatchCond evaluates one OQL comparison against an already-fetched value,
+// with exactly the engine's semantics (kind-mismatch is no-match, LIKE needs
+// string on both sides). The federated planner uses it to compensate at the
+// coordinator for conjuncts an object engine could not accept. op is one of
+// = <> < <= > >= LIKE; lit is a string, int64, float64 or bool, as the OQL
+// parser would have typed the literal.
+func MatchCond(v any, op string, lit any) bool {
+	c := oqlCond{op: op, val: lit}
+	return c.matchValue(v)
+}
+
 func oqlCompare(a, b any) (int, bool) {
 	switch av := a.(type) {
 	case string:

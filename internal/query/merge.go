@@ -1,0 +1,209 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/idl"
+	"repro/internal/orb"
+	"repro/internal/trace"
+)
+
+// Streaming coalition merge. Each member's rows flow through a bounded
+// channel (backpressure instead of buffering whole result sets); the
+// coordinator consumes the channels strictly in member order, so the merged
+// output is deterministic regardless of member timing. A statement LIMIT
+// terminates the fan-out early: once K rows are merged the remaining
+// members' sub-calls are cancelled and their statuses report ErrClass
+// "limit" — satisfied, not degraded.
+
+// mergeOutcome is the result of one streaming coalition merge.
+type mergeOutcome struct {
+	merged    *gateway.Result
+	statuses  []MemberStatus
+	stop      int   // member index that satisfied the LIMIT (-1: ran to completion)
+	rowsMoved int64 // rows fetched from members, pre-compensation
+	fallbacks int64 // bare-fragment retries after a pushdown rejection
+}
+
+// isCapabilityRejection reports whether a member error looks like the engine
+// rejecting a clause the planner pushed (dialect gate or grammar error)
+// rather than a transport or data failure. Engine errors cross the ISI
+// boundary as plain messages (UserException bodies), so a shape match covers
+// both local and remote members:
+//
+//	relational: mSQL does not support LIKE
+//	oodb: unexpected "LIMIT" after query
+func isCapabilityRejection(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *orb.SystemException
+	if errors.As(err, &se) {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "does not support") || strings.Contains(msg, "unexpected")
+}
+
+// streamMerge fans the plan out and merges the members' rows in member
+// order. Each merged row is [source, result-column]; residual conjuncts are
+// applied (and the projection narrowed) in the worker, before the channel
+// send, so backpressure is paid only for rows that will be delivered.
+func (s *Session) streamMerge(ctx context.Context, plan *queryPlan) *mergeOutcome {
+	n := len(plan.Members)
+	statuses := make([]MemberStatus, n)
+	for i := range plan.Members {
+		statuses[i] = MemberStatus{Member: plan.Members[i].D.Name, Ref: plan.Members[i].D.ISIRef,
+			ErrClass: "skipped", Err: "not dispatched"}
+	}
+	buf := s.p.mergeBufRows()
+	chans := make([]chan []idl.Any, n)
+	for i := range chans {
+		chans[i] = make(chan []idl.Any, buf)
+	}
+	colNames := make([]string, n)
+	dispatched := make([]atomic.Bool, n)
+	var rowsMoved, fallbacks atomic.Int64
+
+	mergeCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	fanDone := make(chan struct{})
+	go func() {
+		defer close(fanDone)
+		fanOutCtx(mergeCtx, n, s.p.fanOutWidth(), func(i int) {
+			dispatched[i].Store(true)
+			defer close(chans[i])
+			s.runMember(mergeCtx, plan, i, &statuses[i], chans[i], colNames, &rowsMoved, &fallbacks)
+		})
+		// Members the fan-out never dispatched (context cancelled first)
+		// still need their channels closed so the merge loop can pass them.
+		for i := range chans {
+			if !dispatched[i].Load() {
+				close(chans[i])
+			}
+		}
+	}()
+
+	merged := &gateway.Result{}
+	stop := -1
+collect:
+	for i := range chans {
+		for row := range chans[i] {
+			merged.Rows = append(merged.Rows, row)
+			if plan.Limit > 0 && len(merged.Rows) >= plan.Limit {
+				stop = i
+				cancel() // release the members still running or queued
+				break collect
+			}
+		}
+	}
+	<-fanDone
+
+	if stop >= 0 {
+		// Early termination: everything after the member that satisfied the
+		// limit is reported as cut off by it, whatever its sub-call was
+		// doing when the cancel landed — keeping the statuses (and thus the
+		// Partial bit) deterministic across timings and pushdown modes.
+		for j := stop + 1; j < n; j++ {
+			statuses[j] = MemberStatus{Member: plan.Members[j].D.Name, Ref: plan.Members[j].D.ISIRef,
+				ErrClass: "limit", Err: "limit satisfied"}
+		}
+	}
+	for i := range colNames {
+		if colNames[i] != "" && statuses[i].OK() {
+			merged.Columns = []string{"source", colNames[i]}
+			break
+		}
+	}
+	return &mergeOutcome{
+		merged:    merged,
+		statuses:  statuses,
+		stop:      stop,
+		rowsMoved: rowsMoved.Load(),
+		fallbacks: fallbacks.Load(),
+	}
+}
+
+// runMember executes one member's fragment and streams its compensated,
+// projected rows into the merge. On a capability rejection of a pushed
+// clause (the descriptor's engine claim was stale) it retries once with the
+// bare fragment and full coordinator-side compensation.
+func (s *Session) runMember(ctx context.Context, plan *queryPlan, i int, st *MemberStatus,
+	out chan<- []idl.Any, colNames []string, rowsMoved, fallbacks *atomic.Int64) {
+	mp := &plan.Members[i]
+	mctx, msp := trace.StartSpan(ctx, "query.member:"+mp.D.Name)
+	msp.SetAttr("engine", mp.D.Engine)
+	msp.SetAttrInt("pushed", mp.Exec.Pushed)
+	msp.SetAttrInt("compensated", len(mp.Exec.Residual))
+	if mp.Exec.LimitPushed {
+		msp.SetAttr("limit", "pushed")
+	}
+	if mt := s.p.memberTimeout(); mt > 0 {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithTimeout(mctx, mt)
+		defer cancel()
+	}
+	mctx, cs := orb.WithCallStats(mctx)
+	start := time.Now()
+	var err error
+	defer func() {
+		st.Latency = time.Since(start)
+		st.Attempts = int(cs.Attempts.Load())
+		if err != nil {
+			st.ErrClass = classifyErr(err)
+			st.Err = err.Error()
+			s.tracef("data", "member %s failed (%s): %v", mp.D.Name, st.ErrClass, err)
+		} else {
+			st.ErrClass, st.Err = "", ""
+		}
+		msp.End(err)
+	}()
+	conn, err := s.p.openSource(s, mp.D)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	ex := &mp.Exec
+	var res *gateway.Result
+	res, err = conn.Query(mctx, ex.Native)
+	if err != nil && (ex.Pushed > 0 || ex.LimitPushed) && isCapabilityRejection(err) && mctx.Err() == nil {
+		s.tracef("data", "member %s rejected pushed fragment (%v); retrying with full compensation", mp.D.Name, err)
+		msp.SetAttr("fallback", "bare")
+		fallbacks.Add(1)
+		ex = &mp.Bare
+		res, err = conn.Query(mctx, ex.Native)
+	}
+	if err != nil {
+		err = fmt.Errorf("query: %s: %w", mp.D.Name, err)
+		return
+	}
+	rowsMoved.Add(int64(len(res.Rows)))
+	if len(res.Columns) > 0 {
+		colNames[i] = res.Columns[0]
+	} else {
+		colNames[i] = mp.Fn.ResultColumn
+	}
+	name := idl.String(mp.D.Name)
+	for _, row := range res.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		if len(ex.Residual) > 0 && !residualMatch(row, ex) {
+			continue
+		}
+		select {
+		case out <- []idl.Any{name, row[0]}:
+		case <-ctx.Done():
+			// The query itself succeeded; the merge just stopped taking
+			// rows (limit satisfied downstream). Not a member failure.
+			return
+		}
+	}
+}

@@ -13,7 +13,6 @@ import (
 
 	"repro/internal/codb"
 	"repro/internal/gateway"
-	"repro/internal/idl"
 	"repro/internal/mdcache"
 	"repro/internal/orb"
 	"repro/internal/trace"
@@ -44,6 +43,10 @@ type Response struct {
 	DocHTML    string
 	Result     *gateway.Result
 	Translated string // native query produced by the wrapper
+	// RowsMoved counts the rows fetched from data sources to answer the
+	// statement, before coordinator-side compensation and merging — the
+	// cost pushdown and top-K early termination exist to shrink.
+	RowsMoved int
 
 	// Members reports the per-member outcome of every sub-call the statement
 	// fanned out (coalition query decomposition, discovery peer probes) —
@@ -61,7 +64,7 @@ type MemberStatus struct {
 	Ref      string        // reference contacted (ISI or co-database; "" = local)
 	Attempts int           // transport attempts, transparent retries included
 	Latency  time.Duration // wall-clock time this member's sub-call took
-	ErrClass string        // "", "timeout", "comm", "breaker", "system", "user", "skipped"
+	ErrClass string        // "", "timeout", "comm", "breaker", "system", "user", "skipped", "limit"
 	Err      string        // error message ("" on success)
 	// Cached is true when the sub-call was answered from the metadata cache
 	// (a hit, or coalesced onto another caller's in-flight fetch) without
@@ -132,6 +135,39 @@ type Config struct {
 	// source descriptors, peer probe results) across statements and
 	// sessions. Data queries are never cached. nil disables caching.
 	Cache *mdcache.Cache
+	// DisablePushdown turns predicate/limit pushdown off: every member runs
+	// the bare fragment and the coordinator compensates for all predicates
+	// locally. Both modes return identical answers (the differential tests
+	// in internal/simtest run the same workload both ways); pushdown only
+	// moves where predicates are evaluated and how many rows cross the wire.
+	DisablePushdown bool
+	// MergeBufRows bounds each member's streaming-merge channel: how many
+	// rows a member may run ahead of the coordinator before backpressure.
+	// 0 selects the default (64).
+	MergeBufRows int
+}
+
+// PlannerStats counts federated-planner and streaming-merge activity.
+// Fields are cumulative since the processor was created; read them through
+// Processor.PlannerStats.
+type PlannerStats struct {
+	Plans                int64 // coalition plans executed (cache hits included)
+	PlanCacheHits        int64 // plans served from the metadata cache
+	FragmentsPushed      int64 // predicate conjuncts shipped inside fragments
+	FragmentsCompensated int64 // conjuncts evaluated at the coordinator
+	LimitPushed          int64 // fragments that carried the statement LIMIT
+	EarlyTerminations    int64 // fan-outs cancelled once the LIMIT was satisfied
+	Fallbacks            int64 // bare-fragment retries after a pushdown rejection
+	RowsMoved            int64 // rows fetched from members, pre-compensation
+	RowsDelivered        int64 // rows returned to callers after merge/limit
+}
+
+// plannerCounters is the processor's live (atomic) form of PlannerStats.
+type plannerCounters struct {
+	plans, planCacheHits                  atomic.Int64
+	fragmentsPushed, fragmentsCompensated atomic.Int64
+	limitPushed, earlyTerminations        atomic.Int64
+	fallbacks, rowsMoved, rowsDelivered   atomic.Int64
 }
 
 // Processor is the query layer of one WebFINDIT node.
@@ -144,6 +180,12 @@ type Processor struct {
 	fanOutN    atomic.Int32
 	minMembers atomic.Int32
 	memberTO   atomic.Int64 // nanoseconds
+	// Pushdown and merge buffering are likewise runtime-tunable (SetPushdown,
+	// differential tests flip modes on live processors).
+	pushdownOff atomic.Bool
+	mergeBuf    atomic.Int32
+
+	stats plannerCounters
 
 	// Memoized co-database clients keyed by stringified IOR, so the hot
 	// discovery paths do not re-parse IORs and re-build clients on every
@@ -167,7 +209,40 @@ func New(cfg Config) (*Processor, error) {
 	p.fanOutN.Store(int32(cfg.FanOut))
 	p.minMembers.Store(int32(cfg.MinMembers))
 	p.memberTO.Store(int64(cfg.MemberTimeout))
+	p.pushdownOff.Store(cfg.DisablePushdown)
+	p.mergeBuf.Store(int32(cfg.MergeBufRows))
 	return p, nil
+}
+
+// SetPushdown flips predicate/limit pushdown at runtime (see
+// Config.DisablePushdown). Safe to call concurrently with running sessions;
+// in-flight statements keep the mode they planned under.
+func (p *Processor) SetPushdown(on bool) { p.pushdownOff.Store(!on) }
+
+// PlannerStats snapshots the planner and streaming-merge counters.
+func (p *Processor) PlannerStats() PlannerStats {
+	return PlannerStats{
+		Plans:                p.stats.plans.Load(),
+		PlanCacheHits:        p.stats.planCacheHits.Load(),
+		FragmentsPushed:      p.stats.fragmentsPushed.Load(),
+		FragmentsCompensated: p.stats.fragmentsCompensated.Load(),
+		LimitPushed:          p.stats.limitPushed.Load(),
+		EarlyTerminations:    p.stats.earlyTerminations.Load(),
+		Fallbacks:            p.stats.fallbacks.Load(),
+		RowsMoved:            p.stats.rowsMoved.Load(),
+		RowsDelivered:        p.stats.rowsDelivered.Load(),
+	}
+}
+
+// pushdownOn reports the current pushdown mode.
+func (p *Processor) pushdownOn() bool { return !p.pushdownOff.Load() }
+
+// mergeBufRows returns the per-member streaming-merge channel capacity.
+func (p *Processor) mergeBufRows() int {
+	if n := p.mergeBuf.Load(); n > 0 {
+		return int(n)
+	}
+	return 64
 }
 
 // SetFanOut adjusts the member fan-out width (see Config.FanOut). It is safe
@@ -949,179 +1024,167 @@ func (s *Session) execFuncQuery(ctx context.Context, q *wtl.FuncQuery) (*Respons
 	if err != nil {
 		return nil, err
 	}
-	var fn *codb.ExportedFunction
-	for i := range d.Interface {
-		if f, ok := d.Interface[i].Function(q.Function); ok {
-			fn = f
-			break
-		}
-	}
+	fn := exportedFunction(d, q.Function)
 	if fn == nil {
 		return nil, fmt.Errorf("query: source %s exports no function %s", d.Name, q.Function)
 	}
-	w := WrapperFor(d)
-	native, err := w.Translate(fn, q.Preds)
+	mp, err := buildMemberPlan(d, fn, q, s.p.pushdownOn())
 	if err != nil {
 		return nil, err
 	}
-	s.tracef("query", "wrapper %s translated %s to: %s", w.Name(), q.Function, native)
+	ex := &mp.Exec
+	s.tracef("query", "wrapper %s translated %s to: %s", WrapperFor(d).Name(), q.Function, ex.Native)
 	conn, err := s.p.openSource(s, d)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	s.tracef("data", "executing on %s (%s): %s", d.Name, d.Engine, native)
-	res, err := conn.Query(ctx, native)
+	s.tracef("data", "executing on %s (%s): %s", d.Name, d.Engine, ex.Native)
+	s.p.stats.plans.Add(1)
+	s.p.stats.fragmentsPushed.Add(int64(ex.Pushed))
+	s.p.stats.fragmentsCompensated.Add(int64(len(ex.Residual)))
+	if ex.LimitPushed {
+		s.p.stats.limitPushed.Add(1)
+	}
+	res, err := conn.Query(ctx, ex.Native)
+	if err != nil && (ex.Pushed > 0 || ex.LimitPushed) && isCapabilityRejection(err) {
+		s.tracef("data", "source %s rejected pushed fragment (%v); retrying with full compensation", d.Name, err)
+		s.p.stats.fallbacks.Add(1)
+		ex = &mp.Bare
+		res, err = conn.Query(ctx, ex.Native)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("query: %s: %w", d.Name, err)
 	}
+	s.p.stats.rowsMoved.Add(int64(len(res.Rows)))
+	rowsMoved := len(res.Rows)
+	res = compensateSingle(res, ex, fn, q.Limit)
+	s.p.stats.rowsDelivered.Add(int64(len(res.Rows)))
 	s.Source = d.Name
-	return &Response{Stmt: q, Result: res, Translated: native, Descriptor: d, Text: res.Format()}, nil
+	return &Response{Stmt: q, Result: res, Translated: ex.Native, Descriptor: d,
+		RowsMoved: rowsMoved, Text: res.Format()}, nil
+}
+
+// compensateSingle applies a fragment's residual conjuncts, narrows the
+// projection back to the result column, and enforces a LIMIT the engine did
+// not, for the single-source execution path. When the fragment was fully
+// pushed the engine result passes through untouched.
+func compensateSingle(res *gateway.Result, ex *fragmentExec, fn *codb.ExportedFunction, limit int) *gateway.Result {
+	if len(ex.Residual) == 0 && ex.NCols <= 1 && (limit <= 0 || ex.LimitPushed) {
+		return res
+	}
+	out := &gateway.Result{}
+	if len(res.Columns) > 0 {
+		out.Columns = res.Columns[:1]
+	} else {
+		out.Columns = []string{fn.ResultColumn}
+	}
+	for _, row := range res.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		if len(ex.Residual) > 0 && !residualMatch(row, ex) {
+			continue
+		}
+		out.Rows = append(out.Rows, row[:1])
+		if limit > 0 && len(out.Rows) >= limit {
+			break
+		}
+	}
+	return out
 }
 
 // execCoalitionFuncQuery decomposes a typed query over every member of a
 // coalition that exports the function, merging the result sets with a
 // leading "source" column — the paper's query decomposition across a
-// cluster of databases sharing a topic. Translation runs serially (so
-// translation errors, which would recur identically, surface in member
-// order), then the per-member sub-queries execute in parallel through a
-// bounded worker pool, each under its own MemberTimeout slice.
+// cluster of databases sharing a topic. The planner (plan.go) splits each
+// member's predicates into pushed and compensated halves by the member's
+// capability profile; the streaming merge (merge.go) consumes the members'
+// rows in member order through bounded channels, so the merged result is
+// deterministic and a statement LIMIT can cancel the remaining fan-out the
+// moment it is satisfied.
 //
 // The fan-out degrades gracefully: a member that is unreachable, slow past
 // its deadline, or circuit-broken does not abort the statement. Every
 // member's outcome — attempts, latency, error class — lands in
-// Response.Members; rows from the members that answered are merged back in
-// member order (so the merged result is deterministic), and Response.Partial
-// marks the degradation. The statement only fails when fewer than
-// Config.MinMembers members answer.
+// Response.Members; Response.Partial marks real degradation (members cut
+// off by a satisfied LIMIT report ErrClass "limit" and do not count). The
+// statement only fails when fewer than Config.MinMembers members answer and
+// the LIMIT was not satisfied.
 func (s *Session) execCoalitionFuncQuery(ctx context.Context, q *wtl.FuncQuery) (*Response, error) {
 	entry, err := s.p.coalitionEntry(ctx, s, q.Source)
 	if err != nil {
 		return nil, err
 	}
-	members, _, err := s.p.cachedInstances(ctx, entry, q.Source)
+	plan, out, err := s.p.cachedPlan(ctx, entry, q, s.p.pushdownOn())
 	if err != nil {
 		return nil, err
 	}
-	type subQuery struct {
-		d      *codb.SourceDescriptor
-		native string
+	s.p.stats.plans.Add(1)
+	if out == mdcache.Hit || out == mdcache.Coalesced {
+		s.p.stats.planCacheHits.Add(1)
 	}
-	var parts []subQuery
-	for _, d := range members {
-		var fn *codb.ExportedFunction
-		for i := range d.Interface {
-			if f, ok := d.Interface[i].Function(q.Function); ok {
-				fn = f
-				break
-			}
+	for i := range plan.Members {
+		mp := &plan.Members[i]
+		s.tracef("data", "decomposed query on %s (%s): %s", mp.D.Name, mp.D.Engine, mp.Exec.Native)
+		s.p.stats.fragmentsPushed.Add(int64(mp.Exec.Pushed))
+		s.p.stats.fragmentsCompensated.Add(int64(len(mp.Exec.Residual)))
+		if mp.Exec.LimitPushed {
+			s.p.stats.limitPushed.Add(1)
 		}
-		if fn == nil {
-			continue // members without the function do not participate
-		}
-		w := WrapperFor(d)
-		native, err := w.Translate(fn, q.Preds)
-		if err != nil {
-			return nil, fmt.Errorf("query: %s: %w", d.Name, err)
-		}
-		s.tracef("data", "decomposed query on %s (%s): %s", d.Name, d.Engine, native)
-		parts = append(parts, subQuery{d: d, native: native})
 	}
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("query: no member of coalition %s exports function %s", q.Source, q.Function)
+	mo := s.streamMerge(ctx, plan)
+	s.p.stats.rowsMoved.Add(mo.rowsMoved)
+	s.p.stats.fallbacks.Add(mo.fallbacks)
+	if mo.stop >= 0 {
+		s.p.stats.earlyTerminations.Add(1)
 	}
-	results := make([]*gateway.Result, len(parts))
-	statuses := make([]MemberStatus, len(parts))
-	for i, pt := range parts {
-		statuses[i] = MemberStatus{Member: pt.d.Name, Ref: pt.d.ISIRef,
-			ErrClass: "skipped", Err: "not dispatched"}
-	}
-	fanOutCtx(ctx, len(parts), s.p.fanOutWidth(), func(i int) {
-		pt := parts[i]
-		st := &statuses[i]
-		// One span per coalition member, so the fan-out's critical path —
-		// the slowest member — is visible in the trace.
-		mctx, msp := trace.StartSpan(ctx, "query.member:"+pt.d.Name)
-		msp.SetAttr("engine", pt.d.Engine)
-		if mt := s.p.memberTimeout(); mt > 0 {
-			var cancel context.CancelFunc
-			mctx, cancel = context.WithTimeout(mctx, mt)
-			defer cancel()
-		}
-		mctx, cs := orb.WithCallStats(mctx)
-		start := time.Now()
-		var err error
-		defer func() {
-			st.Latency = time.Since(start)
-			st.Attempts = int(cs.Attempts.Load())
-			if err != nil {
-				st.ErrClass = classifyErr(err)
-				st.Err = err.Error()
-				s.tracef("data", "member %s failed (%s): %v", pt.d.Name, st.ErrClass, err)
-			} else {
-				st.ErrClass, st.Err = "", ""
-			}
-			msp.End(err)
-		}()
-		conn, err := s.p.openSource(s, pt.d)
-		if err != nil {
-			return
-		}
-		defer conn.Close()
-		var res *gateway.Result
-		res, err = conn.Query(mctx, pt.native)
-		if err != nil {
-			err = fmt.Errorf("query: %s: %w", pt.d.Name, err)
-			return
-		}
-		results[i] = res
-	})
-	answered := 0
+	answered, degraded := 0, 0
 	var firstErr error
-	for i := range statuses {
-		if statuses[i].OK() {
+	for i := range mo.statuses {
+		st := &mo.statuses[i]
+		switch {
+		case st.OK():
 			answered++
-		} else if firstErr == nil {
-			firstErr = errors.New(statuses[i].Err)
+		case st.ErrClass == "limit":
+			// Cut off by a satisfied LIMIT: not an answer, not degradation.
+		default:
+			degraded++
+			if firstErr == nil {
+				firstErr = errors.New(st.Err)
+			}
 		}
 	}
 	quorum := s.p.minMembersQuorum()
 	if quorum <= 0 {
 		quorum = 1
 	}
-	if answered < quorum {
+	if mo.stop < 0 && answered < quorum {
 		if firstErr == nil {
 			firstErr = ctx.Err()
 		}
 		return nil, fmt.Errorf("query: coalition %s: %d of %d member(s) answered, need %d: %w",
-			q.Source, answered, len(parts), quorum, firstErr)
+			q.Source, answered, len(plan.Members), quorum, firstErr)
 	}
-	merged := &gateway.Result{}
-	var translations []string
-	for i, pt := range parts {
-		translations = append(translations, pt.d.Name+": "+pt.native)
-		res := results[i]
-		if res == nil {
-			continue // failed member: reported in statuses, not merged
-		}
-		if len(merged.Columns) == 0 {
-			merged.Columns = append([]string{"source"}, res.Columns...)
-		}
-		for _, row := range res.Rows {
-			merged.Rows = append(merged.Rows, append([]idl.Any{idl.String(pt.d.Name)}, row...))
-		}
+	merged := mo.merged
+	s.p.stats.rowsDelivered.Add(int64(len(merged.Rows)))
+	translations := make([]string, len(plan.Members))
+	for i := range plan.Members {
+		translations[i] = plan.Members[i].D.Name + ": " + plan.Members[i].Exec.Native
 	}
+	partial := degraded > 0
 	text := merged.Format()
-	if answered < len(parts) {
-		text += fmt.Sprintf("(partial result: %d of %d member(s) answered)\n", answered, len(parts))
+	if partial {
+		text += fmt.Sprintf("(partial result: %d of %d member(s) answered)\n", answered, len(plan.Members))
 	}
 	return &Response{
 		Stmt:       q,
 		Result:     merged,
 		Translated: strings.Join(translations, "\n"),
 		Text:       text,
-		Members:    statuses,
-		Partial:    answered < len(parts),
+		Members:    mo.statuses,
+		Partial:    partial,
+		RowsMoved:  int(mo.rowsMoved),
 	}, nil
 }
 

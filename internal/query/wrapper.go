@@ -32,22 +32,12 @@ type sqlWrapper struct{ name string }
 func (w *sqlWrapper) Name() string { return w.name }
 
 func (w *sqlWrapper) Translate(fn *codb.ExportedFunction, preds []wtl.Condition) (string, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "SELECT a.%s FROM %s a", fn.ResultColumn, fn.Table)
-	if len(preds) > 0 {
-		b.WriteString(" WHERE ")
-		for i, p := range preds {
-			if i > 0 {
-				b.WriteString(" AND ")
-			}
-			col, err := columnFor(fn, p.Column)
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&b, "a.%s %s %s", col, p.Op, sqlLiteral(p))
-		}
+	conds, err := resolveConds(fn, preds)
+	if err != nil {
+		return "", err
 	}
-	return b.String(), nil
+	frag := wtl.Fragment{Table: fn.Table, Columns: []string{fn.ResultColumn}, Conds: conds}
+	return frag.SQL(), nil
 }
 
 // oqlWrapper translates to the object engines' OQL-lite.
@@ -56,22 +46,32 @@ type oqlWrapper struct{ name string }
 func (w *oqlWrapper) Name() string { return w.name }
 
 func (w *oqlWrapper) Translate(fn *codb.ExportedFunction, preds []wtl.Condition) (string, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "SELECT %s FROM %s", fn.ResultColumn, fn.Table)
-	if len(preds) > 0 {
-		b.WriteString(" WHERE ")
-		for i, p := range preds {
-			if i > 0 {
-				b.WriteString(" AND ")
-			}
-			col, err := columnFor(fn, p.Column)
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&b, "%s %s %s", col, p.Op, sqlLiteral(p))
-		}
+	conds, err := resolveConds(fn, preds)
+	if err != nil {
+		return "", err
 	}
-	return b.String(), nil
+	frag := wtl.Fragment{Table: fn.Table, Columns: []string{fn.ResultColumn}, Conds: conds}
+	return frag.OQL(), nil
+}
+
+// resolveConds resolves every predicate's possibly qualified column against
+// the exported function's table, yielding fragment-ready conditions with
+// bare column names. The planner and both wrappers share this step so a
+// mismatched qualifier is rejected identically everywhere.
+func resolveConds(fn *codb.ExportedFunction, preds []wtl.Condition) ([]wtl.Condition, error) {
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	out := make([]wtl.Condition, len(preds))
+	for i, p := range preds {
+		col, err := columnFor(fn, p.Column)
+		if err != nil {
+			return nil, err
+		}
+		p.Column = col
+		out[i] = p
+	}
+	return out, nil
 }
 
 // columnFor resolves a possibly qualified predicate column against the
@@ -93,13 +93,6 @@ func columnFor(fn *codb.ExportedFunction, col string) (string, error) {
 // match the physical relations they export.
 func normalizeRel(name string) string {
 	return strings.ReplaceAll(strings.ToLower(name), "_", "")
-}
-
-func sqlLiteral(p wtl.Condition) string {
-	if p.IsStr {
-		return "'" + strings.ReplaceAll(p.Value, "'", "''") + "'"
-	}
-	return p.Value
 }
 
 // WrapperFor picks the wrapper a descriptor advertises. Unknown wrapper

@@ -177,6 +177,36 @@ func hasAggregate(e Expr) bool {
 	return false
 }
 
+// hasLike reports whether an expression tree contains a LIKE comparison.
+func hasLike(e Expr) bool {
+	switch x := e.(type) {
+	case *Binary:
+		return x.Op == "LIKE" || hasLike(x.L) || hasLike(x.R)
+	case *Unary:
+		return hasLike(x.X)
+	case *IsNull:
+		return hasLike(x.X)
+	case *FuncCall:
+		for _, a := range x.Args {
+			if hasLike(a) {
+				return true
+			}
+		}
+	case *InList:
+		if hasLike(x.X) {
+			return true
+		}
+		for _, a := range x.List {
+			if hasLike(a) {
+				return true
+			}
+		}
+	case *Between:
+		return hasLike(x.X) || hasLike(x.Lo) || hasLike(x.Hi)
+	}
+	return false
+}
+
 // ---- Statements ----
 
 // SelectItem is one projection: an expression with an optional alias, or a

@@ -17,6 +17,7 @@ type Dialect struct {
 	Distinct     bool
 	Subqueries   bool // IN (SELECT ...) and EXISTS (SELECT ...)
 	Union        bool // UNION / UNION ALL
+	Like         bool // standard LIKE patterns (mSQL 2.x shipped RLIKE/CLIKE instead)
 	MaxVarchar   int  // upper bound for declared VARCHAR sizes (0 = unlimited)
 }
 
@@ -28,19 +29,19 @@ type Dialect struct {
 var (
 	DialectOracle = Dialect{
 		Name: "Oracle", Joins: true, Aggregates: true, Transactions: true,
-		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, MaxVarchar: 4000,
+		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, Like: true, MaxVarchar: 4000,
 	}
 	DialectMSQL = Dialect{
 		Name: "mSQL", Joins: true, Aggregates: false, Transactions: false,
-		OrderLimit: true, Distinct: true, Subqueries: false, Union: false, MaxVarchar: 255,
+		OrderLimit: true, Distinct: true, Subqueries: false, Union: false, Like: false, MaxVarchar: 255,
 	}
 	DialectDB2 = Dialect{
 		Name: "DB2", Joins: true, Aggregates: true, Transactions: true,
-		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, MaxVarchar: 4000,
+		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, Like: true, MaxVarchar: 4000,
 	}
 	DialectSybase = Dialect{
 		Name: "Sybase", Joins: true, Aggregates: true, Transactions: true,
-		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, MaxVarchar: 255,
+		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, Like: true, MaxVarchar: 255,
 	}
 )
 
@@ -105,6 +106,17 @@ func (d Dialect) Check(stmt Statement) error {
 		}
 		if !d.OrderLimit && (len(s.OrderBy) > 0 || s.Limit >= 0) {
 			return unsupported("ORDER BY / LIMIT")
+		}
+		if !d.Like {
+			exprs := []Expr{s.Where, s.Having}
+			for _, it := range s.Items {
+				exprs = append(exprs, it.Expr)
+			}
+			for _, e := range exprs {
+				if e != nil && hasLike(e) {
+					return unsupported("LIKE")
+				}
+			}
 		}
 	case *CreateTableStmt:
 		if d.MaxVarchar > 0 {

@@ -458,6 +458,11 @@ func matchLike(s, pattern string) bool {
 	return likeMatch(s, pattern)
 }
 
+// MatchLike exposes the engine's LIKE matcher so the federated planner can
+// compensate at the coordinator with exactly the engine's semantics when a
+// LIKE could not be pushed into a fragment.
+func MatchLike(s, pattern string) bool { return likeMatch(s, pattern) }
+
 func likeMatch(s, p string) bool {
 	// Iterative two-pointer matcher with backtracking on '%'.
 	si, pi := 0, 0

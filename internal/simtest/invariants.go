@@ -36,12 +36,14 @@ func checkTraceContinuity(op Op, spans []trace.SpanRecord, rootTrace string, fai
 // checkPartialAccounting asserts the Response.Partial contract: the flag is
 // set if and only if some member status is degraded (failed or served stale),
 // so a partial answer always comes with complete per-member accounting of who
-// was missed and why, and a full answer is never flagged.
+// was missed and why, and a full answer is never flagged. Members cut off by
+// a satisfied LIMIT (ErrClass "limit") are healthy: the statement got every
+// row it asked for.
 func checkPartialAccounting(op Op, o *Oracle, resp *query.Response, fail func(string, string, ...any)) {
 	const inv = "partial-accounting"
 	degraded := 0
 	for _, m := range resp.Members {
-		if !m.OK() || m.Stale {
+		if (!m.OK() && m.ErrClass != "limit") || m.Stale {
 			degraded++
 		}
 	}

@@ -12,10 +12,12 @@ package simtest
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/codb"
 	"repro/internal/core"
+	"repro/internal/oodb"
 	"repro/internal/orb"
 	"repro/internal/query"
 	"repro/internal/simnet"
@@ -45,6 +47,22 @@ type Config struct {
 	// MDCacheTTL overrides the metadata-cache TTL (default 2s). The cache
 	// runs on the simulation's virtual clock.
 	MDCacheTTL time.Duration
+	// Hetero cycles the nodes through the paper's engine set (Oracle, mSQL,
+	// ObjectStore, DB2, Ontos, Sybase) instead of all-Oracle, and makes node
+	// 1 a metadata-drift member: it runs mSQL but advertises Oracle, so the
+	// planner pushes clauses (LIKE) the engine then rejects and must recover
+	// from. Off by default — the model-based tests assume all-Oracle.
+	Hetero bool
+	// RowsPerNode seeds each node's r table with this many rows (default 1,
+	// the single ('a', i) row the model oracle predicts; extra rows keep
+	// that row so model runs stay exact). Row r > 0 of node i is
+	// ('k<rr>', i*1000+r), giving pushdown queries selective predicates,
+	// LIKE-able keys and enough volume for LIMIT to bite.
+	RowsPerNode int
+	// DisablePushdown builds every node with predicate/limit pushdown off.
+	// The differential suite builds one federation per mode from the same
+	// seed and requires identical answers.
+	DisablePushdown bool
 }
 
 // Node is one federation participant: its simulated host, ORB and core node.
@@ -113,13 +131,11 @@ func Build(cfg Config) (*Fed, error) {
 		}
 		o.EnableTracing(fed.Tracer)
 		name := fmt.Sprintf("N%d", i)
-		node, err := core.NewNode(core.NodeConfig{
+		nc := core.NodeConfig{
 			Name:            name,
 			Engine:          core.EngineOracle,
 			ORB:             o,
 			InformationType: "records",
-			Schema: fmt.Sprintf(`CREATE TABLE r (k VARCHAR(16) PRIMARY KEY, v INT);
-				INSERT INTO r VALUES ('a', %d);`, i),
 			Interface: []codb.ExportedType{{
 				Name: "R",
 				Functions: []codb.ExportedFunction{{
@@ -127,9 +143,21 @@ func Build(cfg Config) (*Fed, error) {
 					Table: "r", ResultColumn: "v", ArgColumn: "k",
 				}},
 			}},
-			Clock:      fed.Clock.Now,
-			MDCacheTTL: cfg.MDCacheTTL,
-		})
+			Clock:           fed.Clock.Now,
+			MDCacheTTL:      cfg.MDCacheTTL,
+			DisablePushdown: cfg.DisablePushdown,
+		}
+		if cfg.Hetero {
+			nc.Engine = heteroEngines[i%len(heteroEngines)]
+			if i == 1 {
+				// The drift member: runs mSQL, claims Oracle. The planner
+				// believes the claim, pushes LIKE, and the engine rejects it
+				// mid-query — exercising the bare-fragment fallback.
+				nc.AdvertiseEngine = core.EngineOracle
+			}
+		}
+		seedNodeData(&nc, i, cfg.RowsPerNode)
+		node, err := core.NewNode(nc)
 		if err != nil {
 			fed.Close()
 			return nil, err
@@ -218,6 +246,55 @@ func (f *Fed) HealAll() { f.Net.HealAll() }
 // steps so no peer metadata is carried across steps and the oracle stays
 // exact; version-verified local entries revalidate for free either way.
 func (f *Fed) AdvanceTTL() { f.Clock.Advance(f.TTL + time.Millisecond) }
+
+// heteroEngines is the cycle Config.Hetero assigns over node indexes: the
+// paper's four relational vendors interleaved with its two object engines.
+var heteroEngines = []string{
+	core.EngineOracle, core.EngineMSQL, core.EngineObjectStore,
+	core.EngineDB2, core.EngineOntos, core.EngineSybase,
+}
+
+// seedNodeData fills node i's data source with `rows` rows (minimum 1). Row
+// 0 is the ('a', i) row the model oracle predicts; row r is ('k<rr>',
+// i*1000+r). Relational engines seed through the DDL script, object engines
+// through their native API — same logical content either way.
+func seedNodeData(nc *core.NodeConfig, i, rows int) {
+	if rows <= 0 {
+		rows = 1
+	}
+	if core.IsRelational(nc.Engine) {
+		var b strings.Builder
+		b.WriteString("CREATE TABLE r (k VARCHAR(16) PRIMARY KEY, v INT);\n")
+		for r := 0; r < rows; r++ {
+			k, v := rowKV(i, r)
+			fmt.Fprintf(&b, "INSERT INTO r VALUES ('%s', %d);\n", k, v)
+		}
+		nc.Schema = b.String()
+		return
+	}
+	nc.SeedObjects = func(db *oodb.DB) error {
+		if _, err := db.DefineClass("r", "",
+			oodb.Attribute{Name: "k", Type: oodb.AttrString},
+			oodb.Attribute{Name: "v", Type: oodb.AttrInt}); err != nil {
+			return err
+		}
+		for r := 0; r < rows; r++ {
+			k, v := rowKV(i, r)
+			if _, err := db.NewObject("r", map[string]any{"k": k, "v": int64(v)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// rowKV is the deterministic content of node i's row r.
+func rowKV(i, r int) (string, int) {
+	if r == 0 {
+		return "a", i
+	}
+	return fmt.Sprintf("k%02d", r), i*1000 + r
+}
 
 func allIndexes(n int) []int {
 	out := make([]int, n)

@@ -12,6 +12,7 @@ import (
 	"context"
 	"encoding/hex"
 	mrand "math/rand/v2"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -141,6 +142,15 @@ func (s *Span) SetAttr(key, value string) {
 		return
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetAttrInt annotates the span with an integer value. It is a no-op on a
+// nil or ended span.
+func (s *Span) SetAttrInt(key string, value int) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.Itoa(value)})
 }
 
 // End finishes the span, recording its duration (and err, if any) into the

@@ -166,6 +166,11 @@ type FuncQuery struct {
 	Preds       []Condition
 	Source      string // optional
 	OnCoalition bool   // Source names a coalition to fan out over
+	// Limit caps the merged result at N rows (`... Limit N;`). 0 means no
+	// limit. On a coalition query the planner pushes the limit into member
+	// fragments where the dialect accepts it and terminates the fan-out
+	// early once N rows are merged.
+	Limit int
 }
 
 func (*FuncQuery) stmt() {}
@@ -184,6 +189,9 @@ func (s *FuncQuery) String() string {
 		} else {
 			out += " On " + s.Source
 		}
+	}
+	if s.Limit > 0 {
+		out += fmt.Sprintf(" Limit %d", s.Limit)
 	}
 	return out + ";"
 }

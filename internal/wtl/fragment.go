@@ -1,0 +1,95 @@
+package wtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fragment is the single-table retrieval the federated planner ships to one
+// coalition member: the projected columns the coordinator needs back, the
+// predicate conjuncts the member's dialect can evaluate, and an optional row
+// limit. Conditions here are already resolved to bare column names (no
+// exported-type qualifier); the planner does that resolution against the
+// member's exported function before building the fragment.
+//
+// A fragment renders to either dialect family the federation speaks: SQL()
+// for the relational engines (Oracle, mSQL, DB2, Sybase) and OQL() for the
+// object engines (ObjectStore, Ontos). Both renderers are deliberately dumb:
+// they print exactly what they are given, so a fragment that exceeds the
+// target's capabilities fails loudly at the engine rather than silently
+// dropping a clause.
+type Fragment struct {
+	Table   string
+	Columns []string    // projection, in fetch order; never empty
+	Conds   []Condition // pushed conjuncts, bare column names
+	Limit   int         // 0 means no limit clause
+}
+
+// SQL renders the fragment in the relational family's shape, matching the
+// paper's translation byte for byte in the single-column, no-limit case:
+//
+//	SELECT a.Funding FROM ResearchProjects a WHERE a.Title = 'AIDS and drugs'
+func (f *Fragment) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, c := range f.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("a.")
+		b.WriteString(c)
+	}
+	fmt.Fprintf(&b, " FROM %s a", f.Table)
+	for i, p := range f.Conds {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "a.%s %s %s", p.Column, p.Op, SQLLiteral(p))
+	}
+	if f.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", f.Limit)
+	}
+	return b.String()
+}
+
+// OQL renders the fragment in the object family's OQL-lite:
+//
+//	SELECT Funding FROM ResearchProjects WHERE Title = 'AIDS and drugs'
+//
+// OQL has no LIMIT clause; a fragment carrying one still renders it so the
+// engine rejects the query instead of the renderer masking a planner bug.
+func (f *Fragment) OQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, c := range f.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c)
+	}
+	fmt.Fprintf(&b, " FROM %s", f.Table)
+	for i, p := range f.Conds {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "%s %s %s", p.Column, p.Op, SQLLiteral(p))
+	}
+	if f.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", f.Limit)
+	}
+	return b.String()
+}
+
+// SQLLiteral renders a condition's literal for either dialect family:
+// quoted with ” doubling when the WebTassili literal was a string, verbatim
+// otherwise (numbers are kept textual; the engine types them).
+func SQLLiteral(p Condition) string {
+	if p.IsStr {
+		return "'" + strings.ReplaceAll(p.Value, "'", "''") + "'"
+	}
+	return p.Value
+}

@@ -1,0 +1,60 @@
+package wtl
+
+import "testing"
+
+func TestFragmentSQL(t *testing.T) {
+	f := &Fragment{
+		Table:   "ResearchProjects",
+		Columns: []string{"Funding"},
+		Conds: []Condition{
+			{Column: "Title", Op: "=", Value: "AIDS and drugs", IsStr: true},
+		},
+	}
+	// The paper's translation, byte for byte.
+	want := "SELECT a.Funding FROM ResearchProjects a WHERE a.Title = 'AIDS and drugs'"
+	if got := f.SQL(); got != want {
+		t.Errorf("SQL() = %q, want %q", got, want)
+	}
+	// Multi-column projection, multiple conjuncts, limit, quote escaping.
+	f = &Fragment{
+		Table:   "r",
+		Columns: []string{"v", "k"},
+		Conds: []Condition{
+			{Column: "k", Op: "LIKE", Value: "O'%", IsStr: true},
+			{Column: "v", Op: ">=", Value: "10"},
+		},
+		Limit: 3,
+	}
+	want = "SELECT a.v, a.k FROM r a WHERE a.k LIKE 'O''%' AND a.v >= 10 LIMIT 3"
+	if got := f.SQL(); got != want {
+		t.Errorf("SQL() = %q, want %q", got, want)
+	}
+}
+
+func TestFragmentOQL(t *testing.T) {
+	f := &Fragment{
+		Table:   "Callout",
+		Columns: []string{"Hospital"},
+		Conds: []Condition{
+			{Column: "Suburb", Op: "=", Value: "Herston", IsStr: true},
+		},
+	}
+	if got, want := f.OQL(), "SELECT Hospital FROM Callout WHERE Suburb = 'Herston'"; got != want {
+		t.Errorf("OQL() = %q, want %q", got, want)
+	}
+	// No conditions: no WHERE. A limit still renders (OQL has no LIMIT, so
+	// the engine rejects it loudly instead of the renderer hiding the bug).
+	f = &Fragment{Table: "r", Columns: []string{"v", "k"}, Limit: 2}
+	if got, want := f.OQL(), "SELECT v, k FROM r LIMIT 2"; got != want {
+		t.Errorf("OQL() = %q, want %q", got, want)
+	}
+}
+
+func TestSQLLiteral(t *testing.T) {
+	if got := SQLLiteral(Condition{Value: "it's", IsStr: true}); got != "'it''s'" {
+		t.Errorf("string literal = %q", got)
+	}
+	if got := SQLLiteral(Condition{Value: "42"}); got != "42" {
+		t.Errorf("numeric literal = %q", got)
+	}
+}

@@ -1,0 +1,61 @@
+package wtl
+
+import "testing"
+
+func TestFuncQueryLimit(t *testing.T) {
+	// Limit after the coalition clause.
+	s := parseOK(t, `V(R.K, (R.K = "a")) On Coalition Medical Limit 3;`)
+	q := s.(*FuncQuery)
+	if q.Limit != 3 || q.Source != "Medical" || !q.OnCoalition {
+		t.Fatalf("limit query: %#v", q)
+	}
+	// Limit with no source clause at all.
+	s = parseOK(t, `V(R.K) Limit 10;`)
+	if q := s.(*FuncQuery); q.Limit != 10 || q.Source != "" {
+		t.Fatalf("source-less limit: %#v", q)
+	}
+	// A source whose name contains the word Limit keeps parsing as a name:
+	// only the trailing three-token shape (Limit, digits, end) is the clause.
+	s = parseOK(t, `V(R.K) On Limit Hospital;`)
+	if q := s.(*FuncQuery); q.Limit != 0 || q.Source != "Limit Hospital" {
+		t.Fatalf("limit-in-name: %#v", q)
+	}
+	s = parseOK(t, `V(R.K) On Limit Hospital Limit 5;`)
+	if q := s.(*FuncQuery); q.Limit != 5 || q.Source != "Limit Hospital" {
+		t.Fatalf("limit-in-name with clause: %#v", q)
+	}
+	// No limit stays zero.
+	if q := parseOK(t, `V(R.K) On Coalition Medical;`).(*FuncQuery); q.Limit != 0 {
+		t.Fatalf("spurious limit: %#v", q)
+	}
+}
+
+func TestFuncQueryLimitRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`V(R.K, (R.K = "a")) On Coalition Medical Limit 3;`,
+		`V(R.K) Limit 10;`,
+		`V(R.K) On Limit Hospital Limit 5;`,
+		`Funding(ResearchProjects.Title, (ResearchProjects.Title LIKE "AIDS%" AND ResearchProjects.Funding > 100000)) On Coalition Research Limit 7;`,
+	} {
+		s1 := parseOK(t, src)
+		s2 := parseOK(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("round trip unstable:\n  %s\n  %s", s1, s2)
+		}
+		if s1.(*FuncQuery).Limit != s2.(*FuncQuery).Limit {
+			t.Errorf("limit lost in round trip: %s", s1)
+		}
+	}
+}
+
+func TestFuncQueryLimitErrors(t *testing.T) {
+	for _, src := range []string{
+		`V(R.K) Limit 0;`,
+		`V(R.K) Limit -1;`, // "-1" is not all digits: parses as a source error
+		`V(R.K) On Coalition Medical Limit 99999999999999999999;`,
+	} {
+		if s, err := Parse(src); err == nil {
+			t.Errorf("no error for %q (got %#v)", src, s)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package wtl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -508,7 +509,7 @@ func (p *parser) kindWord() (string, error) {
 
 // parseFuncQuery parses
 //
-//	Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs")) [On <source>];
+//	Funding(ResearchProjects.Title, (ResearchProjects.Title = "AIDS and drugs")) [On <source>] [Limit <n>];
 func (p *parser) parseFuncQuery() (Stmt, error) {
 	fn := p.next().text
 	if err := p.expect("("); err != nil {
@@ -544,13 +545,73 @@ func (p *parser) parseFuncQuery() (Stmt, error) {
 		if p.acceptWord("Coalition") {
 			q.OnCoalition = true
 		}
-		src, err := p.name("source name")
+		src, err := p.sourceName()
 		if err != nil {
 			return nil, err
 		}
 		q.Source = src
 	}
+	if p.limitAhead() {
+		p.next() // Limit
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil {
+			return nil, fmt.Errorf("wtl: invalid Limit count: %v", err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("wtl: Limit must be positive, got %d", n)
+		}
+		q.Limit = n
+	}
 	return q, nil
+}
+
+// sourceName reads the multi-word On-clause target: a quoted string, or
+// consecutive words up to the trailing Limit clause, ";" or EOF. Unlike the
+// generic name() helper it uses limitAhead rather than a bare stop word, so
+// a source whose name merely contains the word "Limit" keeps parsing as a
+// name and the printed form stays a parse fixed point.
+func (p *parser) sourceName() (string, error) {
+	if p.peek().kind == kString {
+		return p.next().text, nil
+	}
+	var words []string
+	for {
+		t := p.peek()
+		if t.kind != kWord || p.limitAhead() {
+			break
+		}
+		words = append(words, p.next().text)
+	}
+	if len(words) == 0 {
+		return "", fmt.Errorf("wtl: expected source name, got %q", p.peek().text)
+	}
+	return strings.Join(words, " "), nil
+}
+
+// limitAhead reports whether the tokens at the cursor spell a Limit clause:
+// the word "Limit", a digits-only count, then end of statement. The
+// three-token shape is required so the clause can be recognised without
+// ambiguity while scanning multi-word source names.
+func (p *parser) limitAhead() bool {
+	t := p.peek()
+	if t.kind != kWord || !strings.EqualFold(t.text, "Limit") {
+		return false
+	}
+	n := p.toks[p.pos+1]
+	if n.kind != kWord || !allDigits(n.text) {
+		return false
+	}
+	end := p.toks[p.pos+2]
+	return end.kind == kEOF || end.kind == kPunct && end.text == ";"
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
 }
 
 func (p *parser) qualifiedColumn() (string, error) {
