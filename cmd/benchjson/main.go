@@ -227,13 +227,15 @@ func loadReport(path string) (*Report, error) {
 
 // indexResults keys a report's results by benchmark name with the trailing
 // -N GOMAXPROCS suffix stripped, so BenchmarkFoo-8 and BenchmarkFoo-16 from
-// different machines compare as the same benchmark. Duplicate names keep the
-// first occurrence.
+// different machines compare as the same benchmark. Duplicate names
+// (`go test -count=N`) collapse to the fastest run: best-of-N is the
+// noise-robust statistic for a regression gate on a shared host, where the
+// slower samples measure interference, not the code.
 func indexResults(rep *Report) map[string]Result {
 	out := make(map[string]Result, len(rep.Results))
 	for _, r := range rep.Results {
 		name := stripProcSuffix(r.Name)
-		if _, ok := out[name]; !ok {
+		if prev, ok := out[name]; !ok || r.NsPerOp < prev.NsPerOp {
 			out[name] = r
 		}
 	}

@@ -31,6 +31,10 @@
 //	  "mdcache_ttl_ms": 2000,              // metadata cache positive TTL (0 = default, -1 disables the cache)
 //	  "mdcache_neg_ttl_ms": 250,           // metadata cache negative TTL (0 = default)
 //	  "mdcache_max_entries": 4096,         // metadata cache LRU bound (0 = default)
+//	  "disable_streaming": false,          // member sub-queries materialize instead of paging cursors
+//	  "cursor_max_open": 32,               // server-side cursor cap per servant (0 = default 32)
+//	  "cursor_idle_ms": 120000,            // idle cursor reap TTL (0 = default 2 minutes)
+//	  "fragment_threshold_bytes": 262144,  // GIOP fragmentation threshold (0 = default 256 KiB, -1 off)
 //	  "chaos": { "seed": 1, "rules": [...] }, // optional fault-injection plan
 //	  "interface": [ { "name": "T", "functions": [ ... ] } ]
 //	}
@@ -97,10 +101,22 @@ type nodeFile struct {
 	// differential-testing mode); MergeBufRows bounds each member's
 	// streaming-merge channel (0 = default 64). Planner counters are
 	// published at /debug/metrics under "planner".
-	DisablePushdown bool                `json:"disable_pushdown"`
-	MergeBufRows    int                 `json:"merge_buf_rows"`
-	Chaos           *orb.FaultPlan      `json:"chaos"`
-	Interface       []codb.ExportedType `json:"interface"`
+	DisablePushdown bool `json:"disable_pushdown"`
+	MergeBufRows    int  `json:"merge_buf_rows"`
+	// Streaming-reply knobs. DisableStreaming makes member sub-queries
+	// materialize whole results in one round trip instead of paging through
+	// server-side cursors; CursorMaxOpen caps cursors held open per servant
+	// (0 = default 32); CursorIdleMS is the idle-reap TTL (0 = default 2
+	// minutes); FragmentThresholdBytes is the GIOP message size past which
+	// replies fragment on the wire (0 = default 256 KiB, -1 disables
+	// fragmentation). Cursor counters are published at /debug/metrics under
+	// "cursors".
+	DisableStreaming       bool                `json:"disable_streaming"`
+	CursorMaxOpen          int                 `json:"cursor_max_open"`
+	CursorIdleMS           int                 `json:"cursor_idle_ms"`
+	FragmentThresholdBytes int                 `json:"fragment_threshold_bytes"`
+	Chaos                  *orb.FaultPlan      `json:"chaos"`
+	Interface              []codb.ExportedType `json:"interface"`
 	// InterfaceWTL declares the exported interface in the paper's WebTassili
 	// syntax (Type X { attribute ...; function ...; }) instead of JSON.
 	InterfaceWTL string `json:"interface_wtl"`
@@ -157,7 +173,8 @@ func main() {
 			Threshold: cfg.BreakerThreshold,
 			Cooldown:  time.Duration(cfg.BreakerCooldownMS) * time.Millisecond,
 		},
-		Faults: faults,
+		FragmentThreshold: cfg.FragmentThresholdBytes,
+		Faults:            faults,
 	})
 	o.EnableTracing(tracer)
 	tracer.Publish("orb", func() any { return o.Stats.Snapshot() })
@@ -211,6 +228,9 @@ func main() {
 		MDCacheMaxEntries: cfg.MDCacheMaxEntries,
 		DisablePushdown:   cfg.DisablePushdown,
 		MergeBufRows:      cfg.MergeBufRows,
+		DisableStreaming:  cfg.DisableStreaming,
+		CursorMaxOpen:     cfg.CursorMaxOpen,
+		CursorIdleTTL:     time.Duration(cfg.CursorIdleMS) * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -222,6 +242,7 @@ func main() {
 		tracer.Publish("plancache", func() any { return node.RelDB.PlanCacheStats() })
 	}
 	tracer.Publish("planner", func() any { return node.Processor.PlannerStats() })
+	tracer.Publish("cursors", func() any { return node.CursorStats() })
 	tracer.Publish("parserpool", func() any {
 		return map[string]any{
 			"sql": relational.SQLParserPoolStats(),

@@ -1,0 +1,247 @@
+package codb
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/idl"
+	"repro/internal/orb"
+)
+
+// newWideCoDB builds a co-database with one coalition holding n members, so
+// paged listings actually page.
+func newWideCoDB(t *testing.T, n int) *CoDatabase {
+	t.Helper()
+	cd := New("Registry")
+	if err := cd.DefineCoalition("Medical", "", "every hospital in the state"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		d := &SourceDescriptor{
+			Name:            fmt.Sprintf("Hospital-%02d", i),
+			InformationType: "Medical",
+			Engine:          "Oracle",
+		}
+		if err := cd.AddMember("Medical", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cd
+}
+
+func startCoDBPair(t *testing.T, cd *CoDatabase, opts ServantOptions) (*Client, interface{ OpenCount() int }) {
+	t.Helper()
+	server := orb.New(orb.Options{Product: orb.Orbix, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	servant, table := NewServantWith(cd, opts)
+	ior, err := server.Activate("CoDatabase/Registry", servant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientORB := orb.New(orb.Options{Product: orb.OrbixWeb, DisableColocation: true})
+	t.Cleanup(clientORB.Shutdown)
+	return NewClient(clientORB.Resolve(ior)), table
+}
+
+func TestInstancesPagedBatches(t *testing.T) {
+	c, table := startCoDBPair(t, newWideCoDB(t, 7), ServantOptions{})
+	ctx := context.Background()
+
+	it, err := c.InstancesPaged(ctx, "Medical", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 members over batch 3: a cursor is retained until the drain finishes.
+	if table.OpenCount() != 1 {
+		t.Fatalf("open cursors after open = %d", table.OpenCount())
+	}
+	var names []string
+	for {
+		d, err := it.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, d.Name)
+	}
+	if len(names) != 7 || names[0] != "Hospital-00" || names[6] != "Hospital-06" {
+		t.Fatalf("paged names = %v", names)
+	}
+	if table.OpenCount() != 0 {
+		t.Fatalf("open cursors after drain = %d", table.OpenCount())
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(ctx); err == nil {
+		t.Fatal("Next on closed iterator succeeded")
+	}
+}
+
+func TestInstancesPagedEarlyClose(t *testing.T) {
+	c, table := startCoDBPair(t, newWideCoDB(t, 10), ServantOptions{})
+	ctx := context.Background()
+
+	it, err := c.InstancesPaged(ctx, "Medical", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if table.OpenCount() != 0 {
+		t.Fatalf("open cursors after early Close = %d", table.OpenCount())
+	}
+}
+
+func TestInstancesDelegatesThroughCursor(t *testing.T) {
+	c, table := startCoDBPair(t, newWideCoDB(t, 5), ServantOptions{})
+	insts, err := c.Instances(context.Background(), "Medical")
+	if err != nil || len(insts) != 5 {
+		t.Fatalf("instances = %v, %v", insts, err)
+	}
+	// Batch 0 means the whole listing travelled in the open reply.
+	if table.OpenCount() != 0 {
+		t.Fatalf("whole-listing retained %d cursors", table.OpenCount())
+	}
+	// Errors still surface as typed user exceptions.
+	if _, err := c.Instances(context.Background(), "Nope"); err == nil {
+		t.Fatal("unknown coalition accepted")
+	} else if ue, ok := err.(*orb.UserException); !ok || ue.Name != "CoDatabaseError" {
+		t.Fatalf("error shape = %v", err)
+	}
+}
+
+func TestInstancesPagedCapFallsBack(t *testing.T) {
+	c, table := startCoDBPair(t, newWideCoDB(t, 6), ServantOptions{CursorMaxOpen: 1})
+	ctx := context.Background()
+
+	held, err := c.InstancesPaged(ctx, "Medical", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+
+	// The next open hits the cap; the client falls back to the whole listing.
+	it, err := c.InstancesPaged(ctx, "Medical", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var n int
+	for {
+		if _, err := it.Next(ctx); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("fallback drain = %d descriptors", n)
+	}
+	if table.OpenCount() != 1 {
+		t.Fatalf("fallback opened a cursor: %d", table.OpenCount())
+	}
+}
+
+// TestInstancesPagedLegacyPeerFallsBack points InstancesPaged at a servant
+// that predates open_instances. BAD_OPERATION must route the client to the
+// whole-listing op transparently.
+func TestInstancesPagedLegacyPeerFallsBack(t *testing.T) {
+	server := orb.New(orb.Options{Product: orb.Orbix, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+
+	cd := newWideCoDB(t, 4)
+	legacyIDL := idl.MustParse(`
+module WebFINDIT {
+    interface LegacyCoDatabase {
+        sequence<any> instances(in string coalition);
+    };
+};
+`)[0]
+	h := orb.NewHandler(legacyIDL)
+	h.On("instances", func(args []idl.Any) (idl.Any, error) {
+		members, err := cd.Members(args[0].Str)
+		if err != nil {
+			return idl.Null(), &orb.UserException{Name: "CoDatabaseError", Message: err.Error()}
+		}
+		out := make([]idl.Any, len(members))
+		for i, m := range members {
+			out[i] = m.ToAny()
+		}
+		return idl.Seq(out...), nil
+	})
+	ior, err := server.Activate("CoDatabase/legacy", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientORB := orb.New(orb.Options{Product: orb.OrbixWeb, DisableColocation: true})
+	t.Cleanup(clientORB.Shutdown)
+	c := NewClient(clientORB.Resolve(ior))
+
+	insts, err := c.Instances(context.Background(), "Medical")
+	if err != nil || len(insts) != 4 {
+		t.Fatalf("legacy fallback = %v, %v", insts, err)
+	}
+	it, err := c.InstancesPaged(context.Background(), "Medical", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	d, err := it.Next(context.Background())
+	if err != nil || d.Name != "Hospital-00" {
+		t.Fatalf("legacy paged next = %v, %v", d, err)
+	}
+}
+
+// TestServantCursorReaping proves the servant's table honours an injected
+// clock end to end.
+func TestServantCursorReaping(t *testing.T) {
+	clock := time.Unix(5000, 0)
+	c, table := startCoDBPair(t, newWideCoDB(t, 8), ServantOptions{
+		CursorIdleTTL: time.Minute,
+		Clock:         func() time.Time { return clock },
+	})
+	ctx := context.Background()
+	it, err := c.InstancesPaged(ctx, "Medical", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	clock = clock.Add(2 * time.Minute)
+	if n := table.(interface{ Reap() int }).Reap(); n != 1 {
+		t.Fatalf("reap = %d", n)
+	}
+	// The next fetch finds the cursor gone.
+	for {
+		_, err = it.Next(ctx)
+		if err != nil {
+			break
+		}
+	}
+	if err == io.EOF {
+		t.Fatal("reaped cursor drained to EOF")
+	}
+	if ue, ok := err.(*orb.UserException); !ok || ue.Name != "CursorError" {
+		t.Fatalf("fetch after reap = %v", err)
+	}
+	snap := table.(interface{ OpenCount() int }).OpenCount()
+	if snap != 0 {
+		t.Fatalf("open after reap = %d", snap)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/codb"
+	"repro/internal/cursor"
 	"repro/internal/gateway"
 	"repro/internal/mdcache"
 	"repro/internal/oodb"
@@ -83,9 +84,22 @@ type NodeConfig struct {
 	// limit pushdown off (see query.Config.DisablePushdown). Differential
 	// tests build one federation per mode and require identical answers.
 	DisablePushdown bool
-	// MergeBufRows bounds each member's streaming-merge channel (see
+	// MergeBufRows bounds each member's streaming-merge channel and the
+	// cursor batch size member sub-queries fetch with (see
 	// query.Config.MergeBufRows); 0 keeps the default (64).
 	MergeBufRows int
+	// DisableStreaming starts the node's query processor with the member
+	// cursor protocol off (see query.Config.DisableStreaming): member
+	// sub-queries materialize whole results in one round trip.
+	DisableStreaming bool
+	// CursorMaxOpen caps the server-side cursors the node's ISI and
+	// co-database servants will hold open at once; 0 keeps the default (32).
+	// Clients past the cap fall back to whole-result round trips.
+	CursorMaxOpen int
+	// CursorIdleTTL is how long an untouched server-side cursor survives
+	// before the reaper collects it; 0 keeps the default (2 minutes).
+	// Cursor tables share the node Clock when one is injected.
+	CursorIdleTTL time.Duration
 }
 
 // Node is one running WebFINDIT participant.
@@ -101,7 +115,21 @@ type Node struct {
 	MDCache    *mdcache.Cache // nil when NodeConfig.DisableMDCache is set
 
 	isiConn gateway.Conn
+	// Cursor tables behind the node's servants (ISI data cursors, co-database
+	// instance cursors), kept for stats publishing and tests.
+	isiCursors  *cursor.Table
+	codbCursors *cursor.Table
 }
+
+// CursorStats merges the cursor counters of the node's ISI and co-database
+// servants (open cursors, fetches, idle reaps).
+func (n *Node) CursorStats() cursor.StatsSnapshot {
+	return n.isiCursors.Snapshot().Merge(n.codbCursors.Snapshot())
+}
+
+// ISICursors exposes the ISI servant's cursor table (tests assert open
+// counts and drive the reaper).
+func (n *Node) ISICursors() *cursor.Table { return n.isiCursors }
 
 // isiKey and codbKey name the node's servants on its ORB.
 func isiKey(name string) string  { return "ISI/" + name }
@@ -159,12 +187,24 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n.isiConn = conn
 
 	// Activate the servants.
-	isiIOR, err := cfg.ORB.Activate(isiKey(cfg.Name), gateway.NewISIServant(conn))
+	isiServant, isiCursors := gateway.NewISIServantWith(conn, gateway.ISIServantOptions{
+		CursorMaxOpen: cfg.CursorMaxOpen,
+		CursorIdleTTL: cfg.CursorIdleTTL,
+		Clock:         cfg.Clock,
+	})
+	n.isiCursors = isiCursors
+	isiIOR, err := cfg.ORB.Activate(isiKey(cfg.Name), isiServant)
 	if err != nil {
 		return nil, err
 	}
 	n.ISIIOR = isiIOR
-	codbIOR, err := cfg.ORB.Activate(codbKey(cfg.Name), codb.NewServant(n.CoDB))
+	codbServant, codbCursors := codb.NewServantWith(n.CoDB, codb.ServantOptions{
+		CursorMaxOpen: cfg.CursorMaxOpen,
+		CursorIdleTTL: cfg.CursorIdleTTL,
+		Clock:         cfg.Clock,
+	})
+	n.codbCursors = codbCursors
+	codbIOR, err := cfg.ORB.Activate(codbKey(cfg.Name), codbServant)
 	if err != nil {
 		return nil, err
 	}
@@ -204,14 +244,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		})
 	}
 	n.Processor, err = query.New(query.Config{
-		ORB:             cfg.ORB,
-		Home:            cfg.Name,
-		HomeDescriptor:  n.Descriptor,
-		Local:           codb.NewClient(cfg.ORB.Resolve(codbIOR)),
-		LocalCoDB:       n.CoDB,
-		Cache:           n.MDCache,
-		DisablePushdown: cfg.DisablePushdown,
-		MergeBufRows:    cfg.MergeBufRows,
+		ORB:              cfg.ORB,
+		Home:             cfg.Name,
+		HomeDescriptor:   n.Descriptor,
+		Local:            codb.NewClient(cfg.ORB.Resolve(codbIOR)),
+		LocalCoDB:        n.CoDB,
+		Cache:            n.MDCache,
+		DisablePushdown:  cfg.DisablePushdown,
+		MergeBufRows:     cfg.MergeBufRows,
+		DisableStreaming: cfg.DisableStreaming,
 	})
 	if err != nil {
 		return nil, err

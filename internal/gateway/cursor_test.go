@@ -1,0 +1,212 @@
+package gateway
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/idl"
+	"repro/internal/orb"
+)
+
+// startISIPair activates an ISI servant for the RBH Oracle database and
+// returns a remote connection to it plus the servant's cursor table.
+func startISIPair(t *testing.T, opts ISIServantOptions) (*RemoteConn, *cursorTableHandle) {
+	t.Helper()
+	server := orb.New(orb.Options{Product: orb.VisiBroker, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+
+	drv := NewRelationalDriver("Oracle")
+	if err := drv.Add(newOracleDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	local, err := drv.Open("RBH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	servant, table := NewISIServantWith(local, opts)
+	ior, err := server.Activate("ISI/RBH", servant)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := orb.New(orb.Options{Product: orb.OrbixWeb, DisableColocation: true})
+	t.Cleanup(client.Shutdown)
+	return NewRemoteConn(client.Resolve(ior)), &cursorTableHandle{table}
+}
+
+type cursorTableHandle struct{ table interface{ OpenCount() int } }
+
+func TestRemoteQueryCursorBatches(t *testing.T) {
+	rconn, tb := startISIPair(t, ISIServantOptions{})
+	ctx := context.Background()
+
+	it, err := rconn.QueryCursor(ctx, "SELECT name FROM medical_students ORDER BY name", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := it.Columns(); len(cols) != 1 || cols[0] != "name" {
+		t.Fatalf("columns = %v", cols)
+	}
+	// 3 rows over batch 2: the open carries 2, one fetch carries the last,
+	// so a cursor is retained server-side until the stream is drained.
+	if tb.table.OpenCount() != 1 {
+		t.Fatalf("open cursors after open = %d", tb.table.OpenCount())
+	}
+	var names []string
+	for {
+		row, err := it.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, row[0].Str)
+	}
+	if strings.Join(names, ",") != "J. Chen,P. Okoye,S. Weiss" {
+		t.Fatalf("streamed rows = %v", names)
+	}
+	if tb.table.OpenCount() != 0 {
+		t.Fatalf("open cursors after drain = %d", tb.table.OpenCount())
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(ctx); err == nil {
+		t.Fatal("Next on closed iterator succeeded")
+	}
+}
+
+func TestRemoteCursorCloseReleasesServer(t *testing.T) {
+	rconn, tb := startISIPair(t, ISIServantOptions{})
+	ctx := context.Background()
+
+	it, err := rconn.QueryCursor(ctx, "SELECT name FROM medical_students", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if tb.table.OpenCount() != 1 {
+		t.Fatalf("open cursors mid-stream = %d", tb.table.OpenCount())
+	}
+	// Abandon mid-stream: Close must reach the server and free the cursor.
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.table.OpenCount() != 0 {
+		t.Fatalf("open cursors after early Close = %d", tb.table.OpenCount())
+	}
+}
+
+func TestRemoteQueryDelegatesThroughCursor(t *testing.T) {
+	rconn, tb := startISIPair(t, ISIServantOptions{})
+	res, err := rconn.Query(context.Background(), "SELECT name FROM medical_students WHERE year > 4 ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Str != "P. Okoye" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Batch 0 means the whole result travelled in the open reply: no server
+	// cursor was ever retained.
+	if tb.table.OpenCount() != 0 {
+		t.Fatalf("whole-result query retained %d cursors", tb.table.OpenCount())
+	}
+	// Engine errors still surface with the engine's message.
+	if _, err := rconn.Query(context.Background(), "SELECT * FROM no_such_table"); err == nil ||
+		!strings.Contains(err.Error(), "no_such_table") {
+		t.Fatalf("engine error = %v", err)
+	}
+}
+
+func TestRemoteCursorCapFallsBack(t *testing.T) {
+	rconn, tb := startISIPair(t, ISIServantOptions{CursorMaxOpen: 1})
+	ctx := context.Background()
+
+	// Hold the only cursor slot open.
+	held, err := rconn.QueryCursor(ctx, "SELECT name FROM medical_students", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+	if tb.table.OpenCount() != 1 {
+		t.Fatalf("open cursors = %d", tb.table.OpenCount())
+	}
+
+	// The next open hits the cap; the client falls back to the whole-result
+	// op and the caller still gets every row.
+	it, err := rconn.QueryCursor(ctx, "SELECT name FROM medical_students ORDER BY name", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Drain(ctx, it)
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("fallback drain = %+v, %v", res, err)
+	}
+	if tb.table.OpenCount() != 1 {
+		t.Fatalf("fallback opened a cursor: %d", tb.table.OpenCount())
+	}
+}
+
+// TestRemoteCursorLegacyPeerFallsBack points QueryCursor at a servant that
+// predates the cursor protocol (query/exec only). The BAD_OPERATION reply
+// must route the client to the whole-result op transparently.
+func TestRemoteCursorLegacyPeerFallsBack(t *testing.T) {
+	server := orb.New(orb.Options{Product: orb.VisiBroker, DisableColocation: true})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+
+	legacyIDL := idl.MustParse(`
+module WebFINDIT {
+    interface LegacyISI {
+        any query(in string q);
+    };
+};
+`)[0]
+	drv := NewRelationalDriver("Oracle")
+	if err := drv.Add(newOracleDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	local, err := drv.Open("RBH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := orb.NewHandler(legacyIDL)
+	h.On("query", func(args []idl.Any) (idl.Any, error) {
+		res, err := local.Query(context.Background(), args[0].Str)
+		if err != nil {
+			return idl.Null(), &orb.UserException{Name: "QueryError", Message: err.Error()}
+		}
+		return res.ToAny(), nil
+	})
+	ior, err := server.Activate("ISI/legacy", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := orb.New(orb.Options{Product: orb.OrbixWeb, DisableColocation: true})
+	t.Cleanup(client.Shutdown)
+	rconn := NewRemoteConn(client.Resolve(ior))
+
+	res, err := rconn.Query(context.Background(), "SELECT COUNT(*) FROM medical_students")
+	if err != nil || res.Rows[0][0].Int != 3 {
+		t.Fatalf("legacy fallback query = %+v, %v", res, err)
+	}
+	it, err := rconn.QueryCursor(context.Background(), "SELECT name FROM medical_students", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Drain(context.Background(), it)
+	if err != nil || len(out.Rows) != 3 {
+		t.Fatalf("legacy fallback cursor = %+v, %v", out, err)
+	}
+}

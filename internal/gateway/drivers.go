@@ -106,6 +106,17 @@ func (c *relConn) Query(_ context.Context, q string) (*Result, error) {
 	return fromRelational(res), nil
 }
 
+// QueryCursor implements Conn by materializing the result and iterating it:
+// the engine is in-process, so there is no wire to stream over and batching
+// buys nothing.
+func (c *relConn) QueryCursor(ctx context.Context, q string, _ int) (RowIter, error) {
+	res, err := c.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return NewSliceIter(res), nil
+}
+
 func (c *relConn) Exec(_ context.Context, q string) (*Result, error) {
 	if err := c.check(); err != nil {
 		return nil, err
@@ -246,6 +257,16 @@ func (c *ooConn) Query(_ context.Context, q string) (*Result, error) {
 		out.Rows = append(out.Rows, vals)
 	}
 	return out, nil
+}
+
+// QueryCursor implements Conn by materializing and iterating (in-process
+// engine; see relConn.QueryCursor).
+func (c *ooConn) QueryCursor(ctx context.Context, q string, _ int) (RowIter, error) {
+	res, err := c.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return NewSliceIter(res), nil
 }
 
 // Exec on an OO connection accepts the same query language (reads only; the

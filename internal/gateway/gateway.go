@@ -8,6 +8,7 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -116,6 +117,69 @@ type SourceMeta struct {
 	Model    string // "relational" or "object-oriented"
 }
 
+// RowIter is a pull-based iterator over a query's rows. Next returns the
+// next row, or io.EOF once the result is exhausted; the returned slice is
+// only valid until the following Next. Close releases any server-side
+// cursor behind the iterator and must always be called (a deferred Close is
+// idempotent with normal exhaustion). Iterators are not safe for concurrent
+// use, like the connections that produce them.
+type RowIter interface {
+	// Columns names the result columns, known as soon as the iterator opens.
+	Columns() []string
+	// Next returns the next row or io.EOF. The context bounds one fetch
+	// round trip (where the transport fetches lazily), not the whole drain.
+	Next(ctx context.Context) ([]idl.Any, error)
+	// Close releases the iterator and any server-side cursor behind it.
+	Close() error
+}
+
+// rowsAffected is implemented by iterators that know the statement's
+// affected-row count; Drain propagates it into the rebuilt Result.
+type rowsAffected interface{ RowsAffected() int64 }
+
+// Drain consumes a RowIter to exhaustion and rebuilds the whole-result
+// shape. It is how the deprecated whole-result query paths delegate to the
+// cursor protocol; new code should iterate instead of draining.
+func Drain(ctx context.Context, it RowIter) (*Result, error) {
+	defer it.Close()
+	res := &Result{Columns: it.Columns()}
+	if ra, ok := it.(rowsAffected); ok {
+		res.RowsAffected = ra.RowsAffected()
+	}
+	for {
+		row, err := it.Next(ctx)
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}
+
+// sliceIter adapts a materialized Result to RowIter (in-process engines, and
+// the fallback when a remote peer predates the cursor protocol).
+type sliceIter struct {
+	res *Result
+	pos int
+}
+
+// NewSliceIter returns a RowIter over an already-materialized result.
+func NewSliceIter(res *Result) RowIter { return &sliceIter{res: res} }
+
+func (it *sliceIter) Columns() []string   { return it.res.Columns }
+func (it *sliceIter) RowsAffected() int64 { return it.res.RowsAffected }
+func (it *sliceIter) Close() error        { return nil }
+func (it *sliceIter) Next(context.Context) ([]idl.Any, error) {
+	if it.pos >= len(it.res.Rows) {
+		return nil, io.EOF
+	}
+	row := it.res.Rows[it.pos]
+	it.pos++
+	return row, nil
+}
+
 // Conn is one open connection to a database, in the shape of a JDBC
 // connection: statement execution plus transaction control. Connections are
 // not safe for concurrent use. Statement execution is context-first: the
@@ -124,8 +188,15 @@ type SourceMeta struct {
 // ignore it.
 type Conn interface {
 	// Query runs a read-only query in the engine's native language (SQL for
-	// relational engines, OQL for object-oriented ones).
+	// relational engines, OQL for object-oriented ones) and materializes the
+	// whole result. Prefer QueryCursor for results that may be large: Query
+	// buffers every row at both ends of the wire.
 	Query(ctx context.Context, q string) (*Result, error)
+	// QueryCursor runs a read-only query and returns a pull-based iterator
+	// over its rows, moving at most batchSize rows per round trip where the
+	// transport streams (batchSize <= 0 fetches everything in one batch).
+	// The caller must Close the iterator.
+	QueryCursor(ctx context.Context, q string, batchSize int) (RowIter, error)
 	// Exec runs any statement.
 	Exec(ctx context.Context, q string) (*Result, error)
 	// Begin/Commit/Rollback control a transaction where the engine supports

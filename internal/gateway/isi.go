@@ -2,9 +2,14 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/cursor"
 	"repro/internal/idl"
 	"repro/internal/orb"
 	"repro/internal/trace"
@@ -22,18 +27,38 @@ module WebFINDIT {
         any exec(in string q);
         any meta();
         sequence<any> tables();
+        any open_cursor(in string q, in long long batch);
+        any fetch_cursor(in long long id);
+        void close_cursor(in long long id);
     };
 };
 `)[0]
 
-// NewISIServant wraps a connection in an ISI servant. Invocations are
-// serialised with a mutex because gateway connections, like JDBC
-// connections, are single-threaded. query and exec open a per-driver timing
-// span ("isi.query:<engine>"), so the time a source's engine spends on each
-// statement is visible in the trace of the query that reached it.
+// ISIServantOptions tune the servant's cursor table; the zero value selects
+// the cursor package defaults.
+type ISIServantOptions struct {
+	CursorMaxOpen int              // per-connection open-cursor cap
+	CursorIdleTTL time.Duration    // idle reap threshold
+	Clock         func() time.Time // nil = time.Now (simulations inject one)
+}
+
+// NewISIServant wraps a connection in an ISI servant with default cursor
+// options. Invocations are serialised with a mutex because gateway
+// connections, like JDBC connections, are single-threaded. query and exec
+// open a per-driver timing span ("isi.query:<engine>"), so the time a
+// source's engine spends on each statement is visible in the trace of the
+// query that reached it.
 func NewISIServant(conn Conn) orb.Servant {
+	s, _ := NewISIServantWith(conn, ISIServantOptions{})
+	return s
+}
+
+// NewISIServantWith is NewISIServant with cursor options; it also returns
+// the servant's cursor table so the node can publish its stats.
+func NewISIServantWith(conn Conn, opts ISIServantOptions) (orb.Servant, *cursor.Table) {
 	var mu sync.Mutex
 	meta := conn.Meta()
+	cursors := cursor.NewTable(opts.CursorMaxOpen, opts.CursorIdleTTL, opts.Clock)
 	h := orb.NewHandler(ISIIDL)
 	h.OnCtx("query", func(ctx context.Context, args []idl.Any) (idl.Any, error) {
 		mu.Lock()
@@ -46,6 +71,52 @@ func NewISIServant(conn Conn) orb.Servant {
 			return idl.Null(), &orb.UserException{Name: "QueryError", Message: err.Error()}
 		}
 		return res.ToAny(), nil
+	})
+	h.OnCtx("open_cursor", func(ctx context.Context, args []idl.Any) (idl.Any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		ctx, sp := trace.StartSpan(ctx, "isi.cursor:"+meta.Engine)
+		sp.SetAttr("database", meta.Database)
+		res, err := conn.Query(ctx, args[0].Str)
+		sp.End(err)
+		if err != nil {
+			return idl.Null(), &orb.UserException{Name: "QueryError", Message: err.Error()}
+		}
+		items := make([]idl.Any, len(res.Rows))
+		for i, row := range res.Rows {
+			items[i] = idl.Seq(row...)
+		}
+		id, first, done, err := cursors.Open(items, int(args[1].Int))
+		if err != nil {
+			// ErrTooMany crosses as a CursorError; clients fall back to the
+			// whole-result query op.
+			return idl.Null(), &orb.UserException{Name: "CursorError", Message: err.Error()}
+		}
+		return idl.Struct(
+			idl.F("id", idl.Long(id)),
+			idl.F("columns", idl.Strings(res.Columns)),
+			idl.F("affected", idl.Long(res.RowsAffected)),
+			idl.F("rows", idl.Seq(first...)),
+			idl.F("done", idl.Bool(done)),
+		), nil
+	})
+	h.On("fetch_cursor", func(args []idl.Any) (idl.Any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		batch, done, err := cursors.Fetch(args[0].Int)
+		if err != nil {
+			return idl.Null(), &orb.UserException{Name: "CursorError", Message: err.Error()}
+		}
+		return idl.Struct(
+			idl.F("rows", idl.Seq(batch...)),
+			idl.F("done", idl.Bool(done)),
+		), nil
+	})
+	h.On("close_cursor", func(args []idl.Any) (idl.Any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		cursors.Close(args[0].Int)
+		return idl.Any{Kind: idl.KindVoid}, nil
 	})
 	h.OnCtx("exec", func(ctx context.Context, args []idl.Any) (idl.Any, error) {
 		mu.Lock()
@@ -74,7 +145,7 @@ func NewISIServant(conn Conn) orb.Servant {
 		defer mu.Unlock()
 		return idl.Strings(conn.Tables()), nil
 	})
-	return h
+	return h, cursors
 }
 
 // RemoteConn is a gateway connection whose engine lives behind an ISI
@@ -99,16 +170,138 @@ func (c *RemoteConn) check() error {
 // remote ISI's driver span joins the caller's trace and the deadline bounds
 // the exchange. Queries are idempotent, so transport failures retry under the
 // client ORB's retry policy.
+//
+// It delegates to QueryCursor (batch 0: the whole result in the open round
+// trip, so the cost profile is unchanged) and drains the iterator. Prefer
+// QueryCursor for results that may be large.
 func (c *RemoteConn) Query(ctx context.Context, q string) (*Result, error) {
-	if err := c.check(); err != nil {
+	it, err := c.QueryCursor(ctx, q, 0)
+	if err != nil {
 		return nil, err
 	}
+	return Drain(ctx, it)
+}
+
+// queryWhole is the pre-cursor whole-result query op, kept as the fallback
+// for peers that predate the cursor protocol.
+func (c *RemoteConn) queryWhole(ctx context.Context, q string) (*Result, error) {
 	a, err := c.ref.InvokeIdempotent(ctx, "query", idl.String(q))
 	if err != nil {
 		return nil, remapISIError(err)
 	}
 	return ResultFromAny(a)
 }
+
+// cursorFallback reports an error that means "use the whole-result op
+// instead": the peer predates open_cursor (BAD_OPERATION) or refuses to
+// open another cursor (the table's cap).
+func cursorFallback(err error) bool {
+	var se *orb.SystemException
+	if errors.As(err, &se) && se.Name == orb.ExcBadOperation {
+		return true
+	}
+	var ue *orb.UserException
+	return errors.As(err, &ue) && ue.Name == "CursorError" &&
+		strings.Contains(ue.Message, "too many open cursors")
+}
+
+// QueryCursor implements Conn over the ISI cursor protocol: open_cursor runs
+// the query and returns the first batch (a small result costs one round trip
+// and leaves no server state), fetch_cursor pulls subsequent batches on
+// demand, close_cursor releases an abandoned stream. Peers that predate the
+// protocol — and servers at their cursor cap — are handled by falling back
+// to the whole-result query op behind a materialized iterator.
+func (c *RemoteConn) QueryCursor(ctx context.Context, q string, batchSize int) (RowIter, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	a, err := c.ref.InvokeIdempotent(ctx, "open_cursor", idl.String(q), idl.Long(int64(batchSize)))
+	if err != nil {
+		if cursorFallback(err) {
+			res, qerr := c.queryWhole(ctx, q)
+			if qerr != nil {
+				return nil, qerr
+			}
+			return NewSliceIter(res), nil
+		}
+		return nil, remapISIError(err)
+	}
+	if a.Kind != idl.KindStruct {
+		return nil, fmt.Errorf("gateway: open_cursor reply is %s, not struct", a.Kind)
+	}
+	rows, _ := a.Get("rows")
+	done, _ := a.Get("done")
+	cols, _ := a.Get("columns")
+	return &remoteCursorIter{
+		conn:     c,
+		id:       a.GetInt("id"),
+		cols:     cols.StringSlice(),
+		affected: a.GetInt("affected"),
+		buf:      rows.Seq,
+		done:     done.Bool,
+	}, nil
+}
+
+// remoteCursorIter pulls batches from a server-side ISI cursor. One batch is
+// buffered at a time; the next fetch is only issued once the buffer drains,
+// which is what makes the consumer's pace the producer's pace.
+type remoteCursorIter struct {
+	conn     *RemoteConn
+	id       int64
+	cols     []string
+	affected int64
+	buf      []idl.Any // packed rows (each a Seq) of the current batch
+	pos      int
+	done     bool // server reported the cursor exhausted (and removed it)
+	closed   bool
+}
+
+func (it *remoteCursorIter) Columns() []string   { return it.cols }
+func (it *remoteCursorIter) RowsAffected() int64 { return it.affected }
+
+func (it *remoteCursorIter) Next(ctx context.Context) ([]idl.Any, error) {
+	if it.closed {
+		return nil, fmt.Errorf("gateway: cursor iterator is closed")
+	}
+	for it.pos >= len(it.buf) {
+		if it.done {
+			return nil, io.EOF
+		}
+		a, err := it.conn.ref.InvokeIdempotent(ctx, "fetch_cursor", idl.Long(it.id))
+		if err != nil {
+			// The fetch failed (cursor reaped, member died, ctx over): the
+			// server-side cursor may still exist, so Close still tries.
+			return nil, remapISIError(err)
+		}
+		rows, _ := a.Get("rows")
+		done, _ := a.Get("done")
+		it.buf, it.pos, it.done = rows.Seq, 0, done.Bool
+	}
+	row := it.buf[it.pos]
+	it.pos++
+	return row.Seq, nil
+}
+
+// Close releases the server-side cursor. It is detached from the caller's
+// context on purpose: cancelling a stream (LIMIT satisfied, Rows.Close) is
+// exactly when the close RPC must still go out.
+func (it *remoteCursorIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	if it.done || it.id == 0 {
+		return nil // exhausted cursors are already gone server-side
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), closeCursorTimeout)
+	defer cancel()
+	_, err := it.conn.ref.InvokeIdempotent(ctx, "close_cursor", idl.Long(it.id))
+	return err
+}
+
+// closeCursorTimeout bounds the detached close_cursor round trip. Losing the
+// race just means the idle reaper collects the cursor later.
+const closeCursorTimeout = 2 * time.Second
 
 // Exec implements Conn. Statements may mutate, so they are never retried
 // transparently.

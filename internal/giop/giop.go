@@ -32,7 +32,7 @@ const (
 
 var msgNames = [...]string{
 	"Request", "Reply", "CancelRequest", "LocateRequest",
-	"LocateReply", "CloseConnection", "MessageError",
+	"LocateReply", "CloseConnection", "MessageError", "Fragment",
 }
 
 func (t MsgType) String() string {
@@ -99,7 +99,10 @@ const MaxMessageSize = 16 << 20
 var magic = [4]byte{'G', 'I', 'O', 'P'}
 
 // Version is the GIOP protocol version spoken by this implementation.
-var Version = [2]byte{1, 0}
+// 1.1 adds Fragment messages and the more-fragments header flag; readers
+// accept any 1.x minor, so 1.1 frames without fragmentation are understood
+// by 1.0 peers unchanged.
+var Version = [2]byte{1, 1}
 
 // Message is one framed GIOP message: the header fields plus the raw body,
 // which is CDR-encoded with alignment origin at the message start.
@@ -107,6 +110,10 @@ type Message struct {
 	Type  MsgType
 	Order cdr.ByteOrder
 	Body  []byte
+
+	// More mirrors the GIOP 1.1 more-fragments header flag: this frame's
+	// body is continued by Fragment messages for the same request ID.
+	More bool
 
 	// pooled marks messages allocated by Read from msgPool; Release returns
 	// them (body buffer included) for reuse by later reads.
@@ -132,6 +139,7 @@ func (m *Message) Release() {
 		return
 	}
 	m.pooled = false
+	m.More = false
 	m.Body = m.Body[:0]
 	msgPool.Put(m)
 }
@@ -191,7 +199,10 @@ func writeFrame(w io.Writer, m *Message) error {
 	copy(hdr[0:4], magic[:])
 	hdr[4] = Version[0]
 	hdr[5] = Version[1]
-	hdr[6] = byte(m.Order) // flags: bit 0 = byte order
+	hdr[6] = byte(m.Order) // flags: bit 0 = byte order, bit 1 = more fragments
+	if m.More {
+		hdr[6] |= FlagMoreFragments
+	}
 	hdr[7] = byte(m.Type)
 	putULong(hdr[8:12], uint32(len(m.Body)), m.Order)
 	_, err := w.Write(hdr[:])
@@ -351,6 +362,7 @@ func Read(r io.Reader) (*Message, error) {
 	}
 	m := msgPool.Get().(*Message)
 	m.Type, m.Order, m.pooled = MsgType(hdr[7]), order, true
+	m.More = hdr[6]&FlagMoreFragments != 0
 	if cap(m.Body) < int(size) {
 		m.Body = make([]byte, size)
 	} else {

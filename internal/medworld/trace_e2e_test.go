@@ -56,10 +56,11 @@ func TestHealthcareQueryEndToEndTrace(t *testing.T) {
 	}
 
 	// The driver-level span: the ISI servant's gateway call on the remote
-	// node. RBH runs Oracle, so the span is isi.query:Oracle.
+	// node. RBH runs Oracle and remote queries travel over the cursor
+	// protocol, so the span is isi.cursor:Oracle.
 	var driver *trace.SpanRecord
 	for i := range spans {
-		if spans[i].Name == "isi.query:Oracle" {
+		if spans[i].Name == "isi.cursor:Oracle" {
 			driver = &spans[i]
 		}
 	}
@@ -68,7 +69,7 @@ func TestHealthcareQueryEndToEndTrace(t *testing.T) {
 		for i, sp := range spans {
 			names[i] = sp.Name
 		}
-		t.Fatalf("no isi.query:Oracle span in trace; spans: %v", names)
+		t.Fatalf("no isi.cursor:Oracle span in trace; spans: %v", names)
 	}
 
 	// Walk the driver span's ancestry back to the session root. It must pass
@@ -84,14 +85,14 @@ func TestHealthcareQueryEndToEndTrace(t *testing.T) {
 		}
 		cur = parent
 		switch {
-		case cur.Name == "server:query":
+		case cur.Name == "server:open_cursor":
 			sawServer = true
 			for _, a := range cur.Attrs {
 				if a.Key == "transport" && a.Value != "iiop" {
-					t.Fatalf("server:query transport = %s, want iiop", a.Value)
+					t.Fatalf("server:open_cursor transport = %s, want iiop", a.Value)
 				}
 			}
-		case cur.Name == "client:query":
+		case cur.Name == "client:open_cursor":
 			sawClient = true
 		case strings.HasPrefix(cur.Name, "query:"):
 			sawStmt = true

@@ -347,10 +347,48 @@ func (c *muxConn) send(msg *giop.Message) error {
 	return nil
 }
 
+// sendRequest writes one GIOP Request, fragmenting bodies above
+// Options.FragmentThreshold; hdrLen is the encoded request-header length,
+// which must stay whole in the initial frame.
+func (c *muxConn) sendRequest(reqID uint32, msg *giop.Message, hdrLen int) error {
+	stats := &c.pool.orb.Stats
+	frames, err := giop.WriteFragmented(c.w, msg, reqID, c.pool.orb.opts.FragmentThreshold, hdrLen)
+	if frames > 1 {
+		stats.FragmentsSent.Add(int64(frames - 1))
+	}
+	stats.BytesSent.Add(int64(len(msg.Body) + frames*giop.HeaderSize + (frames-1)*4))
+	if err != nil {
+		return &SystemException{Name: ExcCommFailure, Detail: err.Error()}
+	}
+	return nil
+}
+
+// handleReply routes one complete (possibly reassembled) Reply message to
+// its waiting caller. It reports whether the connection is still usable; on
+// false it has already been poisoned.
+func (c *muxConn) handleReply(msg *giop.Message) bool {
+	d := msg.BodyDecoder()
+	rh, err := giop.UnmarshalReplyHeader(d)
+	if err != nil {
+		// An unroutable reply leaves callers unmatchable: poison.
+		msg.Release()
+		c.fail(&SystemException{Name: ExcMarshal, Detail: "reply header: " + err.Error()})
+		return false
+	}
+	// The message travels with the reply: the waiting caller still
+	// has to decode the result out of its body, and releases it then.
+	c.deliver(rh.RequestID, &demuxedReply{rh: rh, d: d, msg: msg})
+	return true
+}
+
 // readLoop is the demux goroutine: it reads framed messages until the
 // connection dies and routes replies to waiting callers by request ID.
+// Fragmented replies reassemble here before delivery; the pending cap
+// mirrors the pipelining depth, so a confused peer cannot hold more partial
+// replies open than the caller could have requests in flight.
 func (c *muxConn) readLoop(br *bufio.Reader) {
 	stats := &c.pool.orb.Stats
+	ra := giop.NewReassembler(maxPipelinePerConn)
 	for {
 		msg, err := giop.Read(br)
 		if err != nil {
@@ -360,17 +398,41 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 		stats.BytesReceived.Add(int64(len(msg.Body) + giop.HeaderSize))
 		switch msg.Type {
 		case giop.MsgReply:
-			d := msg.BodyDecoder()
-			rh, err := giop.UnmarshalReplyHeader(d)
-			if err != nil {
-				// An unroutable reply leaves callers unmatchable: poison.
+			if msg.More {
+				// Initial frame of a fragmented reply: key the reassembly by
+				// the request ID in its (whole, by contract) reply header.
+				rh, err := giop.UnmarshalReplyHeader(msg.BodyDecoder())
+				if err == nil {
+					err = ra.Begin(rh.RequestID, msg)
+				}
 				msg.Release()
-				c.fail(&SystemException{Name: ExcMarshal, Detail: "reply header: " + err.Error()})
+				if err != nil {
+					c.fail(&SystemException{Name: ExcMarshal, Detail: "fragmented reply: " + err.Error()})
+					return
+				}
+				continue
+			}
+			if !c.handleReply(msg) {
 				return
 			}
-			// The message travels with the reply: the waiting caller still
-			// has to decode the result out of its body, and releases it then.
-			c.deliver(rh.RequestID, &demuxedReply{rh: rh, d: d, msg: msg})
+		case giop.MsgFragment:
+			out, err := ra.Fragment(msg)
+			msg.Release()
+			if err != nil {
+				c.fail(&SystemException{Name: ExcMarshal, Detail: "fragment: " + err.Error()})
+				return
+			}
+			stats.FragmentsReassembled.Add(1)
+			if out == nil {
+				continue // more fragments expected
+			}
+			if out.Type != giop.MsgReply {
+				c.fail(&SystemException{Name: ExcCommFailure, Detail: "fragmented " + out.Type.String()})
+				return
+			}
+			if !c.handleReply(out) {
+				return
+			}
 		case giop.MsgLocateReply:
 			lr, err := giop.UnmarshalLocateReply(msg.BodyDecoder())
 			msg.Release() // the locate header is fully copied out
@@ -400,9 +462,15 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 // reply, bounding the wait by timeout (0 = unbounded). A timeout or write
 // failure poisons the connection, preserving GIOP 1.0 semantics where a
 // broken exchange leaves the stream unusable.
-func (c *muxConn) call(reqID uint32, msg *giop.Message, expectReply bool, timeout time.Duration) (*demuxedReply, error) {
+func (c *muxConn) call(reqID uint32, msg *giop.Message, hdrLen int, expectReply bool, timeout time.Duration) (*demuxedReply, error) {
+	send := func() error {
+		if msg.Type == giop.MsgRequest {
+			return c.sendRequest(reqID, msg, hdrLen)
+		}
+		return c.send(msg)
+	}
 	if !expectReply {
-		if err := c.send(msg); err != nil {
+		if err := send(); err != nil {
 			c.fail(err)
 			return nil, err
 		}
@@ -415,7 +483,7 @@ func (c *muxConn) call(reqID uint32, msg *giop.Message, expectReply bool, timeou
 	stats := &c.pool.orb.Stats
 	stats.noteInFlight()
 	defer stats.InFlight.Add(-1)
-	if err := c.send(msg); err != nil {
+	if err := send(); err != nil {
 		c.fail(err)
 		<-ch // fail delivered the error; drain our channel
 		return nil, err
@@ -607,9 +675,10 @@ func (p *connPool) roundTrip(ctx context.Context, ior *IOR, op string, args []id
 			Operation:        op,
 			Principal:        []byte(p.orb.opts.Product),
 		}).Marshal(e)
+		hdrLen := e.Len()
 		idl.MarshalAnys(e, args)
 		msg := &giop.Message{Type: giop.MsgRequest, Order: order, Body: e.Bytes()}
-		r, err := c.call(reqID, msg, expectReply, p.callDeadline(ctx))
+		r, err := c.call(reqID, msg, hdrLen, expectReply, p.callDeadline(ctx))
 		// call has either copied the frame into the connection's buffered
 		// writer or failed; the encoder's scratch buffer is free either way.
 		giop.ReleaseBodyEncoder(e)
@@ -679,7 +748,7 @@ func (p *connPool) locate(ctx context.Context, ior *IOR) (bool, error) {
 		e := giop.AcquireBodyEncoder(order)
 		(&giop.LocateRequestHeader{RequestID: reqID, ObjectKey: ior.ObjectKey}).Marshal(e)
 		msg := &giop.Message{Type: giop.MsgLocateRequest, Order: order, Body: e.Bytes()}
-		r, err := c.call(reqID, msg, true, p.callDeadline(ctx))
+		r, err := c.call(reqID, msg, 0, true, p.callDeadline(ctx))
 		giop.ReleaseBodyEncoder(e)
 		if err != nil {
 			if pe, poisoned := err.(*errConnPoisoned); poisoned {

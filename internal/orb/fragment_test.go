@@ -1,0 +1,133 @@
+package orb
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/idl"
+)
+
+// startFragPair boots a server/client ORB pair whose wire fragments any body
+// above threshold bytes.
+func startFragPair(t *testing.T, threshold int) (client *ORB, ref *ObjectRef) {
+	t.Helper()
+	server := New(Options{Product: Orbix, DisableColocation: true, FragmentThreshold: threshold})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	ior, err := server.Activate("Echo", newEchoServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client = New(Options{Product: VisiBroker, DisableColocation: true, FragmentThreshold: threshold})
+	t.Cleanup(client.Shutdown)
+	return client, client.Resolve(ior)
+}
+
+// TestFragmentedRoundTrip pushes a payload far above the threshold both ways
+// (big request argument, big echoed reply) and checks it survives the
+// fragmented wire intact, with fragment counters moving on both sides.
+func TestFragmentedRoundTrip(t *testing.T) {
+	client, ref := startFragPair(t, 512)
+	payload := strings.Repeat("webfindit/", 2000) // ~20 KB, ~40 fragments each way
+	got, err := ref.Invoke("echo", idl.String(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Str != payload {
+		t.Fatalf("fragmented echo corrupted: %d bytes back, want %d", len(got.Str), len(payload))
+	}
+	if n := client.Stats.FragmentsSent.Load(); n == 0 {
+		t.Error("client sent no fragments for an oversized request")
+	}
+	if n := client.Stats.FragmentsReassembled.Load(); n == 0 {
+		t.Error("client reassembled no fragments for an oversized reply")
+	}
+}
+
+// TestFragmentedInterleavedCalls runs many concurrent calls, large and
+// small, over the shared mux with an aggressive threshold: every large reply
+// is fragmented, and the demux must route interleaved fragments of different
+// request IDs without mixing them up.
+func TestFragmentedInterleavedCalls(t *testing.T) {
+	_, ref := startFragPair(t, 256)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var payload string
+			if i%2 == 0 {
+				payload = strings.Repeat(string(rune('a'+i%26)), 4000+i*37)
+			} else {
+				payload = "small"
+			}
+			got, err := ref.InvokeCtx(context.Background(), "echo", idl.String(payload))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got.Str != payload {
+				errs <- &SystemException{Name: ExcMarshal,
+					Detail: "interleaved fragmented reply corrupted"}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestFragmentationDisabled verifies a negative threshold keeps every
+// message a single frame (GIOP 1.0 behaviour).
+func TestFragmentationDisabled(t *testing.T) {
+	client, ref := startFragPair(t, -1)
+	payload := strings.Repeat("x", 100_000)
+	got, err := ref.Invoke("echo", idl.String(payload))
+	if err != nil || got.Str != payload {
+		t.Fatalf("echo with fragmentation disabled: %v", err)
+	}
+	if n := client.Stats.FragmentsSent.Load(); n != 0 {
+		t.Errorf("fragments sent with fragmentation disabled: %d", n)
+	}
+	if n := client.Stats.FragmentsReassembled.Load(); n != 0 {
+		t.Errorf("fragments reassembled with fragmentation disabled: %d", n)
+	}
+}
+
+// TestFragmentedExceptionReply exercises fragmentation of non-NoException
+// replies: a user exception whose message exceeds the threshold.
+func TestFragmentedExceptionReply(t *testing.T) {
+	server := New(Options{Product: Orbix, DisableColocation: true, FragmentThreshold: 128})
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	h := NewHandler(echoIDL)
+	h.On("fail", func(args []idl.Any) (idl.Any, error) {
+		return idl.Null(), &UserException{Name: "Big", Message: strings.Repeat("why ", 1000)}
+	})
+	ior, err := server.Activate("Echo", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(Options{Product: VisiBroker, DisableColocation: true, FragmentThreshold: 128})
+	t.Cleanup(client.Shutdown)
+	_, err = client.Resolve(ior).Invoke("fail", idl.String("user"))
+	ue, ok := err.(*UserException)
+	if !ok {
+		t.Fatalf("err = %T %v, want *UserException", err, err)
+	}
+	if ue.Name != "Big" || len(ue.Message) != 4000 {
+		t.Errorf("fragmented exception = %q / %d bytes", ue.Name, len(ue.Message))
+	}
+	if client.Stats.FragmentsReassembled.Load() == 0 {
+		t.Error("exception reply was not fragmented")
+	}
+}

@@ -56,51 +56,58 @@ type Stats struct {
 	BreakerTrips   atomic.Int64 // circuit transitions into the open state
 	BreakerRejects atomic.Int64 // calls failed fast by an open breaker
 	FaultsInjected atomic.Int64 // faults injected by the ORB's FaultPlan
+
+	FragmentsSent        atomic.Int64 // GIOP Fragment frames written (requests and replies)
+	FragmentsReassembled atomic.Int64 // GIOP Fragment frames consumed by reassembly
 }
 
 // StatsSnapshot is a plain-value copy of Stats, safe to serialize (it is the
 // shape the node binary publishes under /debug/metrics).
 type StatsSnapshot struct {
-	RequestsServed int64 `json:"requests_served"`
-	ColocatedCalls int64 `json:"colocated_calls"`
-	IIOPCalls      int64 `json:"iiop_calls"`
-	BytesSent      int64 `json:"bytes_sent"`
-	BytesReceived  int64 `json:"bytes_received"`
-	LocateRequests int64 `json:"locate_requests"`
-	ActiveConns    int64 `json:"active_conns"`
-	ProtocolErrors int64 `json:"protocol_errors"`
-	UserExceptions int64 `json:"user_exceptions"`
-	SysExceptions  int64 `json:"sys_exceptions"`
-	OnewayRequests int64 `json:"oneway_requests"`
-	InFlight       int64 `json:"in_flight"`
-	MaxInFlight    int64 `json:"max_in_flight"`
-	Retries        int64 `json:"retries"`
-	BreakerTrips   int64 `json:"breaker_trips"`
-	BreakerRejects int64 `json:"breaker_rejects"`
-	FaultsInjected int64 `json:"faults_injected"`
+	RequestsServed       int64 `json:"requests_served"`
+	ColocatedCalls       int64 `json:"colocated_calls"`
+	IIOPCalls            int64 `json:"iiop_calls"`
+	BytesSent            int64 `json:"bytes_sent"`
+	BytesReceived        int64 `json:"bytes_received"`
+	LocateRequests       int64 `json:"locate_requests"`
+	ActiveConns          int64 `json:"active_conns"`
+	ProtocolErrors       int64 `json:"protocol_errors"`
+	UserExceptions       int64 `json:"user_exceptions"`
+	SysExceptions        int64 `json:"sys_exceptions"`
+	OnewayRequests       int64 `json:"oneway_requests"`
+	InFlight             int64 `json:"in_flight"`
+	MaxInFlight          int64 `json:"max_in_flight"`
+	Retries              int64 `json:"retries"`
+	BreakerTrips         int64 `json:"breaker_trips"`
+	BreakerRejects       int64 `json:"breaker_rejects"`
+	FaultsInjected       int64 `json:"faults_injected"`
+	FragmentsSent        int64 `json:"fragments_sent"`
+	FragmentsReassembled int64 `json:"fragments_reassembled"`
 }
 
 // Snapshot loads every counter atomically (field by field; see the Stats
 // concurrency contract) and returns the copy.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		RequestsServed: s.RequestsServed.Load(),
-		ColocatedCalls: s.ColocatedCalls.Load(),
-		IIOPCalls:      s.IIOPCalls.Load(),
-		BytesSent:      s.BytesSent.Load(),
-		BytesReceived:  s.BytesReceived.Load(),
-		LocateRequests: s.LocateRequests.Load(),
-		ActiveConns:    s.ActiveConns.Load(),
-		ProtocolErrors: s.ProtocolErrors.Load(),
-		UserExceptions: s.UserExceptions.Load(),
-		SysExceptions:  s.SysExceptions.Load(),
-		OnewayRequests: s.OnewayRequests.Load(),
-		InFlight:       s.InFlight.Load(),
-		MaxInFlight:    s.MaxInFlight.Load(),
-		Retries:        s.Retries.Load(),
-		BreakerTrips:   s.BreakerTrips.Load(),
-		BreakerRejects: s.BreakerRejects.Load(),
-		FaultsInjected: s.FaultsInjected.Load(),
+		RequestsServed:       s.RequestsServed.Load(),
+		ColocatedCalls:       s.ColocatedCalls.Load(),
+		IIOPCalls:            s.IIOPCalls.Load(),
+		BytesSent:            s.BytesSent.Load(),
+		BytesReceived:        s.BytesReceived.Load(),
+		LocateRequests:       s.LocateRequests.Load(),
+		ActiveConns:          s.ActiveConns.Load(),
+		ProtocolErrors:       s.ProtocolErrors.Load(),
+		UserExceptions:       s.UserExceptions.Load(),
+		SysExceptions:        s.SysExceptions.Load(),
+		OnewayRequests:       s.OnewayRequests.Load(),
+		InFlight:             s.InFlight.Load(),
+		MaxInFlight:          s.MaxInFlight.Load(),
+		Retries:              s.Retries.Load(),
+		BreakerTrips:         s.BreakerTrips.Load(),
+		BreakerRejects:       s.BreakerRejects.Load(),
+		FaultsInjected:       s.FaultsInjected.Load(),
+		FragmentsSent:        s.FragmentsSent.Load(),
+		FragmentsReassembled: s.FragmentsReassembled.Load(),
 	}
 }
 
@@ -149,6 +156,13 @@ type Options struct {
 	// Faults installs a fault-injection plan on the client IIOP path (chaos
 	// testing). nil injects nothing; SetFaultPlan swaps plans at runtime.
 	Faults *FaultPlan
+	// FragmentThreshold sets the body size above which requests and replies
+	// are written as GIOP 1.1 fragmented messages (an initial frame plus
+	// Fragment frames of at most this size), so one huge reply no longer
+	// head-of-line-blocks the other calls pipelined on the connection.
+	// 0 selects giop.DefaultFragmentThreshold; negative disables
+	// fragmentation (every message is one frame, as in GIOP 1.0).
+	FragmentThreshold int
 	// Transport supplies the network stack used by Listen and client dials.
 	// nil selects the operating system's TCP stack. Deterministic tests
 	// inject an in-memory transport (internal/simnet) to run federations

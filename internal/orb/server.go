@@ -72,6 +72,32 @@ func (o *ORB) serveConn(nc net.Conn) {
 	// never need the read loop to make progress (replies flush through w
 	// independently), so blocking here cannot deadlock.
 	sem := make(chan struct{}, maxPipelinePerConn)
+	// Fragmented requests reassemble here, keyed by request ID. The pending
+	// cap matches maxPipelinePerConn so a client cannot hold more partial
+	// requests open than it could have whole requests in flight; a dispatch
+	// slot (sem) is only taken once the logical request is complete.
+	ra := giop.NewReassembler(maxPipelinePerConn)
+	dispatchReq := func(m *giop.Message) {
+		sem <- struct{}{}
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			defer func() { <-sem }()
+			defer m.Release()
+			if !o.handleRequest(w, m) {
+				// The reply could not be written: the stream is broken
+				// for every other request too, so tear the socket down
+				// to unblock the read loop.
+				nc.Close()
+			}
+		}()
+	}
+	// protocolErr reports a malformed frame to the peer; it returns false
+	// when even that failed and the connection must go down.
+	protocolErr := func() bool {
+		o.Stats.ProtocolErrors.Add(1)
+		return w.Write(&giop.Message{Type: giop.MsgMessageError, Order: cdr.BigEndian}) == nil
+	}
 	for {
 		msg, err := giop.Read(br)
 		if err != nil {
@@ -83,19 +109,41 @@ func (o *ORB) serveConn(nc net.Conn) {
 		o.Stats.BytesReceived.Add(int64(len(msg.Body) + giop.HeaderSize))
 		switch msg.Type {
 		case giop.MsgRequest:
-			sem <- struct{}{}
-			o.wg.Add(1)
-			go func(m *giop.Message) {
-				defer o.wg.Done()
-				defer func() { <-sem }()
-				defer m.Release()
-				if !o.handleRequest(w, m) {
-					// The reply could not be written: the stream is broken
-					// for every other request too, so tear the socket down
-					// to unblock the read loop.
-					nc.Close()
+			if msg.More {
+				// Initial frame of a fragmented request: its header must be
+				// whole (the writer keeps it in the first frame) so the
+				// reassembly can be keyed by request ID.
+				hdr, err := giop.UnmarshalRequestHeader(msg.BodyDecoder())
+				if err == nil {
+					err = ra.Begin(hdr.RequestID, msg)
 				}
-			}(msg)
+				msg.Release()
+				if err != nil && !protocolErr() {
+					return
+				}
+				continue
+			}
+			dispatchReq(msg)
+		case giop.MsgFragment:
+			out, err := ra.Fragment(msg)
+			msg.Release()
+			if err != nil {
+				if !protocolErr() {
+					return
+				}
+				continue
+			}
+			o.Stats.FragmentsReassembled.Add(1)
+			if out == nil {
+				continue // more fragments expected
+			}
+			if out.Type != giop.MsgRequest {
+				if !protocolErr() {
+					return
+				}
+				continue
+			}
+			dispatchReq(out)
 		case giop.MsgLocateRequest:
 			ok := o.handleLocate(w, msg)
 			msg.Release()
@@ -105,16 +153,18 @@ func (o *ORB) serveConn(nc net.Conn) {
 		case giop.MsgCancelRequest:
 			// The cancelled request may still be executing in its dispatch
 			// goroutine; GIOP permits ignoring the cancel, and the client
-			// simply discards the eventual reply.
+			// simply discards the eventual reply. A partially reassembled
+			// request, though, is dropped here and now.
+			if cr, err := giop.UnmarshalCancelRequest(msg.BodyDecoder()); err == nil {
+				ra.Cancel(cr.RequestID)
+			}
 			msg.Release()
 		case giop.MsgCloseConnection:
 			msg.Release()
 			return
 		default:
-			o.Stats.ProtocolErrors.Add(1)
 			msg.Release()
-			errMsg := &giop.Message{Type: giop.MsgMessageError, Order: cdr.BigEndian}
-			if writeErr := w.Write(errMsg); writeErr != nil {
+			if !protocolErr() {
 				return
 			}
 		}
@@ -188,41 +238,53 @@ func (o *ORB) dispatch(ctx context.Context, key, op string, args []idl.Any) (idl
 	return s.Invoke(op, args)
 }
 
-// writeReply encodes the reply for a completed invocation.
+// writeReply encodes the reply for a completed invocation. Bodies above
+// Options.FragmentThreshold go out as a fragmented message, so a huge result
+// is interleavable with the other replies sharing the connection.
 func (o *ORB) writeReply(w *giop.SyncWriter, order cdr.ByteOrder, req *giop.RequestHeader, result idl.Any, invErr error) error {
 	e := giop.AcquireBodyEncoder(order)
 	defer giop.ReleaseBodyEncoder(e)
 	rh := giop.ReplyHeader{RequestID: req.RequestID}
+	var body func(*cdr.Encoder)
 	switch err := invErr.(type) {
 	case nil:
 		rh.Status = giop.ReplyNoException
-		rh.Marshal(e)
-		result.Marshal(e)
+		body = func(e *cdr.Encoder) { result.Marshal(e) }
 	case *UserException:
 		o.Stats.UserExceptions.Add(1)
 		rh.Status = giop.ReplyUserException
-		rh.Marshal(e)
-		e.WriteString(err.Name)
-		e.WriteString(err.Message)
+		body = func(e *cdr.Encoder) {
+			e.WriteString(err.Name)
+			e.WriteString(err.Message)
+		}
 	case *SystemException:
 		o.Stats.SysExceptions.Add(1)
 		rh.Status = giop.ReplySystemException
-		rh.Marshal(e)
-		e.WriteString(err.Name)
-		e.WriteULong(err.Minor)
-		e.WriteString(err.Detail)
+		body = func(e *cdr.Encoder) {
+			e.WriteString(err.Name)
+			e.WriteULong(err.Minor)
+			e.WriteString(err.Detail)
+		}
 	default:
 		// Unclassified servant error: surfaces as UNKNOWN, like real ORBs.
 		o.Stats.SysExceptions.Add(1)
 		rh.Status = giop.ReplySystemException
-		rh.Marshal(e)
-		e.WriteString(ExcUnknown)
-		e.WriteULong(0)
-		e.WriteString(invErr.Error())
+		body = func(e *cdr.Encoder) {
+			e.WriteString(ExcUnknown)
+			e.WriteULong(0)
+			e.WriteString(invErr.Error())
+		}
 	}
+	rh.Marshal(e)
+	hdrLen := e.Len() // the reply header must stay whole in the initial frame
+	body(e)
 	out := &giop.Message{Type: giop.MsgReply, Order: order, Body: e.Bytes()}
-	o.Stats.BytesSent.Add(int64(len(out.Body) + giop.HeaderSize))
-	return w.Write(out)
+	frames, err := giop.WriteFragmented(w, out, req.RequestID, o.opts.FragmentThreshold, hdrLen)
+	if frames > 1 {
+		o.Stats.FragmentsSent.Add(int64(frames - 1))
+	}
+	o.Stats.BytesSent.Add(int64(len(out.Body) + frames*giop.HeaderSize + (frames-1)*4))
+	return err
 }
 
 // handleLocate answers a GIOP LocateRequest. Locates never run servant code,

@@ -143,8 +143,17 @@ type Config struct {
 	DisablePushdown bool
 	// MergeBufRows bounds each member's streaming-merge channel: how many
 	// rows a member may run ahead of the coordinator before backpressure.
+	// It is also the cursor batch size member sub-queries fetch with, so
+	// coordinator buffering for a coalition scan is bounded by
+	// members x 2 x MergeBufRows rows regardless of result size.
 	// 0 selects the default (64).
 	MergeBufRows int
+	// DisableStreaming turns the cursor protocol off for member sub-queries:
+	// every member materializes its whole fragment result in one round trip,
+	// as before the protocol existed. Both modes return identical answers
+	// (the differential tests in internal/simtest run the same workload both
+	// ways); streaming only changes how many rows are in flight at once.
+	DisableStreaming bool
 }
 
 // PlannerStats counts federated-planner and streaming-merge activity.
@@ -160,6 +169,7 @@ type PlannerStats struct {
 	Fallbacks            int64 // bare-fragment retries after a pushdown rejection
 	RowsMoved            int64 // rows fetched from members, pre-compensation
 	RowsDelivered        int64 // rows returned to callers after merge/limit
+	PeakMergeBuffered    int64 // most rows ever held in merge channels at once
 }
 
 // plannerCounters is the processor's live (atomic) form of PlannerStats.
@@ -168,6 +178,18 @@ type plannerCounters struct {
 	fragmentsPushed, fragmentsCompensated atomic.Int64
 	limitPushed, earlyTerminations        atomic.Int64
 	fallbacks, rowsMoved, rowsDelivered   atomic.Int64
+	peakMergeBuffered                     atomic.Int64
+}
+
+// raisePeak lifts the peak-merge-buffered gauge to v if it is higher than the
+// recorded high-water mark.
+func (c *plannerCounters) raisePeak(v int64) {
+	for {
+		p := c.peakMergeBuffered.Load()
+		if v <= p || c.peakMergeBuffered.CompareAndSwap(p, v) {
+			return
+		}
+	}
 }
 
 // Processor is the query layer of one WebFINDIT node.
@@ -180,9 +202,11 @@ type Processor struct {
 	fanOutN    atomic.Int32
 	minMembers atomic.Int32
 	memberTO   atomic.Int64 // nanoseconds
-	// Pushdown and merge buffering are likewise runtime-tunable (SetPushdown,
-	// differential tests flip modes on live processors).
+	// Pushdown, merge buffering and cursor streaming are likewise
+	// runtime-tunable (SetPushdown, SetStreaming; differential tests flip
+	// modes on live processors).
 	pushdownOff atomic.Bool
+	streamOff   atomic.Bool
 	mergeBuf    atomic.Int32
 
 	stats plannerCounters
@@ -210,9 +234,18 @@ func New(cfg Config) (*Processor, error) {
 	p.minMembers.Store(int32(cfg.MinMembers))
 	p.memberTO.Store(int64(cfg.MemberTimeout))
 	p.pushdownOff.Store(cfg.DisablePushdown)
+	p.streamOff.Store(cfg.DisableStreaming)
 	p.mergeBuf.Store(int32(cfg.MergeBufRows))
 	return p, nil
 }
+
+// SetStreaming flips the member-side cursor protocol at runtime (see
+// Config.DisableStreaming). Safe to call concurrently with running sessions;
+// in-flight statements keep the mode they started under.
+func (p *Processor) SetStreaming(on bool) { p.streamOff.Store(!on) }
+
+// streamingOn reports the current member-transport mode.
+func (p *Processor) streamingOn() bool { return !p.streamOff.Load() }
 
 // SetPushdown flips predicate/limit pushdown at runtime (see
 // Config.DisablePushdown). Safe to call concurrently with running sessions;
@@ -231,6 +264,7 @@ func (p *Processor) PlannerStats() PlannerStats {
 		Fallbacks:            p.stats.fallbacks.Load(),
 		RowsMoved:            p.stats.rowsMoved.Load(),
 		RowsDelivered:        p.stats.rowsDelivered.Load(),
+		PeakMergeBuffered:    p.stats.peakMergeBuffered.Load(),
 	}
 }
 
@@ -1112,80 +1146,12 @@ func compensateSingle(res *gateway.Result, ex *fragmentExec, fn *codb.ExportedFu
 // statement only fails when fewer than Config.MinMembers members answer and
 // the LIMIT was not satisfied.
 func (s *Session) execCoalitionFuncQuery(ctx context.Context, q *wtl.FuncQuery) (*Response, error) {
-	entry, err := s.p.coalitionEntry(ctx, s, q.Source)
+	rows, err := s.streamCoalition(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	plan, out, err := s.p.cachedPlan(ctx, entry, q, s.p.pushdownOn())
-	if err != nil {
-		return nil, err
-	}
-	s.p.stats.plans.Add(1)
-	if out == mdcache.Hit || out == mdcache.Coalesced {
-		s.p.stats.planCacheHits.Add(1)
-	}
-	for i := range plan.Members {
-		mp := &plan.Members[i]
-		s.tracef("data", "decomposed query on %s (%s): %s", mp.D.Name, mp.D.Engine, mp.Exec.Native)
-		s.p.stats.fragmentsPushed.Add(int64(mp.Exec.Pushed))
-		s.p.stats.fragmentsCompensated.Add(int64(len(mp.Exec.Residual)))
-		if mp.Exec.LimitPushed {
-			s.p.stats.limitPushed.Add(1)
-		}
-	}
-	mo := s.streamMerge(ctx, plan)
-	s.p.stats.rowsMoved.Add(mo.rowsMoved)
-	s.p.stats.fallbacks.Add(mo.fallbacks)
-	if mo.stop >= 0 {
-		s.p.stats.earlyTerminations.Add(1)
-	}
-	answered, degraded := 0, 0
-	var firstErr error
-	for i := range mo.statuses {
-		st := &mo.statuses[i]
-		switch {
-		case st.OK():
-			answered++
-		case st.ErrClass == "limit":
-			// Cut off by a satisfied LIMIT: not an answer, not degradation.
-		default:
-			degraded++
-			if firstErr == nil {
-				firstErr = errors.New(st.Err)
-			}
-		}
-	}
-	quorum := s.p.minMembersQuorum()
-	if quorum <= 0 {
-		quorum = 1
-	}
-	if mo.stop < 0 && answered < quorum {
-		if firstErr == nil {
-			firstErr = ctx.Err()
-		}
-		return nil, fmt.Errorf("query: coalition %s: %d of %d member(s) answered, need %d: %w",
-			q.Source, answered, len(plan.Members), quorum, firstErr)
-	}
-	merged := mo.merged
-	s.p.stats.rowsDelivered.Add(int64(len(merged.Rows)))
-	translations := make([]string, len(plan.Members))
-	for i := range plan.Members {
-		translations[i] = plan.Members[i].D.Name + ": " + plan.Members[i].Exec.Native
-	}
-	partial := degraded > 0
-	text := merged.Format()
-	if partial {
-		text += fmt.Sprintf("(partial result: %d of %d member(s) answered)\n", answered, len(plan.Members))
-	}
-	return &Response{
-		Stmt:       q,
-		Result:     merged,
-		Translated: strings.Join(translations, "\n"),
-		Text:       text,
-		Members:    mo.statuses,
-		Partial:    partial,
-		RowsMoved:  int(mo.rowsMoved),
-	}, nil
+	defer rows.Close()
+	return rows.drainResponse(ctx)
 }
 
 func (s *Session) execNativeQuery(ctx context.Context, q *wtl.NativeQuery) (*Response, error) {

@@ -63,6 +63,15 @@ type Config struct {
 	// The differential suite builds one federation per mode from the same
 	// seed and requires identical answers.
 	DisablePushdown bool
+	// DisableStreaming builds every node with the member cursor protocol off:
+	// coalition sub-queries materialize whole results instead of paging. The
+	// streaming differential suite builds one federation per transport from
+	// the same seed and requires identical answers.
+	DisableStreaming bool
+	// MergeBufRows overrides each node's merge window / cursor batch size
+	// (0 = default 64). Small values force multi-fetch cursor traffic even on
+	// small fixtures.
+	MergeBufRows int
 }
 
 // Node is one federation participant: its simulated host, ORB and core node.
@@ -143,9 +152,11 @@ func Build(cfg Config) (*Fed, error) {
 					Table: "r", ResultColumn: "v", ArgColumn: "k",
 				}},
 			}},
-			Clock:           fed.Clock.Now,
-			MDCacheTTL:      cfg.MDCacheTTL,
-			DisablePushdown: cfg.DisablePushdown,
+			Clock:            fed.Clock.Now,
+			MDCacheTTL:       cfg.MDCacheTTL,
+			DisablePushdown:  cfg.DisablePushdown,
+			DisableStreaming: cfg.DisableStreaming,
+			MergeBufRows:     cfg.MergeBufRows,
 		}
 		if cfg.Hetero {
 			nc.Engine = heteroEngines[i%len(heteroEngines)]
