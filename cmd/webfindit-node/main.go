@@ -32,6 +32,9 @@
 //	  "mdcache_neg_ttl_ms": 250,           // metadata cache negative TTL (0 = default)
 //	  "mdcache_max_entries": 4096,         // metadata cache LRU bound (0 = default)
 //	  "disable_streaming": false,          // member sub-queries materialize instead of paging cursors
+//	  "disable_semijoin": false,           // semi-joins filter at the coordinator only (no key pushdown)
+//	  "semijoin_key_limit": 64,            // largest key set pushed as IN lists; larger sets go Bloom (0 = default 64)
+//	  "semijoin_bloom_bits": 10,           // Bloom prefilter bits per build-side key (0 = default 10)
 //	  "cursor_max_open": 32,               // server-side cursor cap per servant (0 = default 32)
 //	  "cursor_idle_ms": 120000,            // idle cursor reap TTL (0 = default 2 minutes)
 //	  "fragment_threshold_bytes": 262144,  // GIOP fragmentation threshold (0 = default 256 KiB, -1 off)
@@ -99,10 +102,17 @@ type nodeFile struct {
 	// Federated planner knobs. DisablePushdown runs every coalition member
 	// on the bare fragment with full coordinator compensation (the planner's
 	// differential-testing mode); MergeBufRows bounds each member's
-	// streaming-merge channel (0 = default 64). Planner counters are
-	// published at /debug/metrics under "planner".
-	DisablePushdown bool `json:"disable_pushdown"`
-	MergeBufRows    int  `json:"merge_buf_rows"`
+	// streaming-merge channel (0 = default 64). DisableSemiJoin keeps
+	// semi-join key sets at the coordinator (no IN pushdown, no Bloom);
+	// SemiJoinKeyLimit is the exact-IN/Bloom crossover (0 = default 64);
+	// SemiJoinBloomBits sizes the Bloom prefilter per build-side key
+	// (0 = default 10). Planner counters are published at /debug/metrics
+	// under "planner".
+	DisablePushdown   bool `json:"disable_pushdown"`
+	MergeBufRows      int  `json:"merge_buf_rows"`
+	DisableSemiJoin   bool `json:"disable_semijoin"`
+	SemiJoinKeyLimit  int  `json:"semijoin_key_limit"`
+	SemiJoinBloomBits int  `json:"semijoin_bloom_bits"`
 	// Streaming-reply knobs. DisableStreaming makes member sub-queries
 	// materialize whole results in one round trip instead of paging through
 	// server-side cursors; CursorMaxOpen caps cursors held open per servant
@@ -229,6 +239,9 @@ func main() {
 		DisablePushdown:   cfg.DisablePushdown,
 		MergeBufRows:      cfg.MergeBufRows,
 		DisableStreaming:  cfg.DisableStreaming,
+		DisableSemiJoin:   cfg.DisableSemiJoin,
+		SemiJoinKeyLimit:  cfg.SemiJoinKeyLimit,
+		SemiJoinBloomBits: cfg.SemiJoinBloomBits,
 		CursorMaxOpen:     cfg.CursorMaxOpen,
 		CursorIdleTTL:     time.Duration(cfg.CursorIdleMS) * time.Millisecond,
 	})

@@ -92,6 +92,16 @@ type NodeConfig struct {
 	// cursor protocol off (see query.Config.DisableStreaming): member
 	// sub-queries materialize whole results in one round trip.
 	DisableStreaming bool
+	// DisableSemiJoin starts the node's query processor with semi-join key
+	// pushdown off (see query.Config.DisableSemiJoin): join statements run,
+	// but every probe row crosses the wire and the coordinator filters.
+	DisableSemiJoin bool
+	// SemiJoinKeyLimit is the exact-IN/Bloom crossover for semi-join key
+	// sets (see query.Config.SemiJoinKeyLimit); 0 keeps the default (64).
+	SemiJoinKeyLimit int
+	// SemiJoinBloomBits sizes the semi-join Bloom prefilter in bits per key
+	// (see query.Config.SemiJoinBloomBits); 0 keeps the default (10).
+	SemiJoinBloomBits int
 	// CursorMaxOpen caps the server-side cursors the node's ISI and
 	// co-database servants will hold open at once; 0 keeps the default (32).
 	// Clients past the cap fall back to whole-result round trips.
@@ -244,15 +254,18 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		})
 	}
 	n.Processor, err = query.New(query.Config{
-		ORB:              cfg.ORB,
-		Home:             cfg.Name,
-		HomeDescriptor:   n.Descriptor,
-		Local:            codb.NewClient(cfg.ORB.Resolve(codbIOR)),
-		LocalCoDB:        n.CoDB,
-		Cache:            n.MDCache,
-		DisablePushdown:  cfg.DisablePushdown,
-		MergeBufRows:     cfg.MergeBufRows,
-		DisableStreaming: cfg.DisableStreaming,
+		ORB:               cfg.ORB,
+		Home:              cfg.Name,
+		HomeDescriptor:    n.Descriptor,
+		Local:             codb.NewClient(cfg.ORB.Resolve(codbIOR)),
+		LocalCoDB:         n.CoDB,
+		Cache:             n.MDCache,
+		DisablePushdown:   cfg.DisablePushdown,
+		MergeBufRows:      cfg.MergeBufRows,
+		DisableStreaming:  cfg.DisableStreaming,
+		DisableSemiJoin:   cfg.DisableSemiJoin,
+		SemiJoinKeyLimit:  cfg.SemiJoinKeyLimit,
+		SemiJoinBloomBits: cfg.SemiJoinBloomBits,
 	})
 	if err != nil {
 		return nil, err

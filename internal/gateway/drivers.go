@@ -21,21 +21,23 @@ type Capabilities struct {
 	Predicates bool // evaluates pushed comparison conjuncts (= <> < <= > >=)
 	Like       bool // evaluates pushed LIKE patterns
 	Limit      bool // honours a pushed LIMIT clause
+	InList     bool // evaluates a pushed literal IN list (semi-join key set)
 }
 
 // CapsFor resolves the capability profile for an advertised engine name.
 // Relational vendors derive from their dialect profile (mSQL 2.x shipped
-// RLIKE/CLIKE instead of standard LIKE, so LIKE stays at the coordinator);
+// RLIKE/CLIKE instead of standard LIKE, so LIKE stays at the coordinator,
+// and wanted OR chains instead of IN lists, so semi-join key sets do too);
 // the object engines evaluate every predicate but their OQL grammar has no
-// LIMIT clause. An unknown engine gets the zero profile — push nothing, the
-// coordinator compensates for everything.
+// LIMIT clause or IN operator. An unknown engine gets the zero profile —
+// push nothing, the coordinator compensates for everything.
 func CapsFor(engine string) Capabilities {
 	switch engine {
 	case "ObjectStore", "Ontos":
-		return Capabilities{Predicates: true, Like: true, Limit: false}
+		return Capabilities{Predicates: true, Like: true, Limit: false, InList: false}
 	}
 	if d, err := relational.DialectByName(engine); err == nil {
-		return Capabilities{Predicates: true, Like: d.Like, Limit: d.OrderLimit}
+		return Capabilities{Predicates: true, Like: d.Like, Limit: d.OrderLimit, InList: d.InList}
 	}
 	return Capabilities{}
 }

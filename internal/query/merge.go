@@ -76,6 +76,19 @@ type mergeStream struct {
 	cancel   context.CancelCauseFunc
 	fanDone  chan struct{}
 
+	// limit is the effective row cap (plan.Limit normally). A semi-join
+	// probe decouples it from the plan: the cached plan carries no limit
+	// (a member-side LIMIT under a coordinator filter would under-fetch)
+	// while the merge still terminates early on post-filter rows.
+	limit int
+	// filter, when set, admits rows by result value before they count or
+	// ship — the semi-join key filter. Rejected rows are fetched (they show
+	// in rowsMoved) but never buffered, delivered or counted toward limit.
+	filter *semiJoinFilter
+	// overrides, when set, replaces member i's planned execution — the
+	// semi-join probe's per-statement IN rendering. nil entries run Exec.
+	overrides []*fragmentExec
+
 	cur       int   // channel currently being drained
 	delivered []int // rows emitted per member
 	progress  int   // rows counted toward the LIMIT (failed members refunded)
@@ -83,8 +96,10 @@ type mergeStream struct {
 	eof       bool
 	closed    bool
 
-	rowsMoved atomic.Int64 // rows fetched from members, pre-compensation
-	fallbacks atomic.Int64 // bare-fragment retries after a pushdown rejection
+	rowsMoved   atomic.Int64 // rows fetched from members, pre-compensation
+	fallbacks   atomic.Int64 // bare-fragment retries after a pushdown rejection
+	probePruned atomic.Int64 // rows rejected by the semi-join key filter
+	sjFallbacks atomic.Int64 // bare retries of fragments that carried a key set
 
 	// inflight counts rows sitting in the merge channels (pulled from a
 	// member's cursor, not yet consumed); peakInflight is its high-water
@@ -100,6 +115,13 @@ type mergeStream struct {
 // (and the projection narrowed) in the worker, before the channel send, so
 // backpressure is paid only for rows that will be delivered.
 func (s *Session) newMergeStream(ctx context.Context, plan *queryPlan) *mergeStream {
+	return s.newMergeStreamFiltered(ctx, plan, plan.Limit, nil, nil)
+}
+
+// newMergeStreamFiltered is newMergeStream with the semi-join hooks: an
+// effective limit decoupled from the cached plan, a coordinator-side key
+// filter, and per-member execution overrides carrying pushed key sets.
+func (s *Session) newMergeStreamFiltered(ctx context.Context, plan *queryPlan, limit int, filter *semiJoinFilter, overrides []*fragmentExec) *mergeStream {
 	n := len(plan.Members)
 	ms := &mergeStream{
 		sess:      s,
@@ -110,6 +132,9 @@ func (s *Session) newMergeStream(ctx context.Context, plan *queryPlan) *mergeStr
 		fanDone:   make(chan struct{}),
 		delivered: make([]int, n),
 		stop:      -1,
+		limit:     limit,
+		filter:    filter,
+		overrides: overrides,
 	}
 	for i := range plan.Members {
 		ms.statuses[i] = MemberStatus{Member: plan.Members[i].D.Name, Ref: plan.Members[i].D.ISIRef,
@@ -167,7 +192,7 @@ func (ms *mergeStream) Next() (row []idl.Any, member int, ok bool) {
 		m := ms.cur
 		ms.delivered[m]++
 		ms.progress++
-		if ms.plan.Limit > 0 && ms.progress >= ms.plan.Limit {
+		if ms.limit > 0 && ms.progress >= ms.limit {
 			ms.stop = m
 			ms.eof = true
 			ms.cancel(errLimitSatisfied) // release the members still running or queued
@@ -278,12 +303,19 @@ func (s *Session) runMember(ctx context.Context, ms *mergeStream, i int) {
 		return gateway.NewSliceIter(res), nil
 	}
 	ex := &mp.Exec
+	if ms.overrides != nil && ms.overrides[i] != nil {
+		ex = ms.overrides[i]
+		msp.SetAttr("semijoin", "keys pushed")
+	}
 	var it gateway.RowIter
 	it, err = open(ex)
-	if err != nil && (ex.Pushed > 0 || ex.LimitPushed) && isCapabilityRejection(err) && mctx.Err() == nil {
+	if err != nil && (ex.Pushed > 0 || ex.LimitPushed || ex.InPushed) && isCapabilityRejection(err) && mctx.Err() == nil {
 		s.tracef("data", "member %s rejected pushed fragment (%v); retrying with full compensation", mp.D.Name, err)
 		msp.SetAttr("fallback", "bare")
 		ms.fallbacks.Add(1)
+		if ex.InPushed {
+			ms.sjFallbacks.Add(1)
+		}
 		ex = &mp.Bare
 		it, err = open(ex)
 	}
@@ -314,6 +346,13 @@ func (s *Session) runMember(ctx context.Context, ms *mergeStream, i int) {
 			continue
 		}
 		if len(ex.Residual) > 0 && !residualMatch(row, ex) {
+			continue
+		}
+		if ms.filter != nil && !ms.filter.admit(row[0]) {
+			// The row's key is not in the build side (or it is a Bloom false
+			// positive the exact set rejects): the semi-join drops it here,
+			// before it can occupy the merge window or count toward LIMIT.
+			ms.probePruned.Add(1)
 			continue
 		}
 		select {

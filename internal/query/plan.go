@@ -29,11 +29,13 @@ import (
 type fragmentExec struct {
 	Native      string          // rendered native query
 	OQL         bool            // object-family rendering (drives residual semantics)
+	Frag        wtl.Fragment    // source fragment, kept so a semi-join key set can re-render it
 	Residual    []wtl.Condition // conjuncts compensated at the coordinator
 	ResidualIdx []int           // fetch-column index of each residual conjunct
 	NCols       int             // fetched columns (result column + residual columns)
 	Pushed      int             // conjuncts shipped inside the fragment
 	LimitPushed bool            // fragment carries the statement's LIMIT
+	InPushed    bool            // fragment carries a semi-join IN key set
 }
 
 // memberPlan is one member's slice of a coalition plan: the capability-gated
@@ -44,6 +46,12 @@ type memberPlan struct {
 	Fn   *codb.ExportedFunction
 	Exec fragmentExec
 	Bare fragmentExec
+	// InListOK records, at plan time, whether the member's advertised engine
+	// accepts a literal IN list — the gate for shipping a semi-join key set
+	// into this member's fragment. Key sets are runtime data (they come from
+	// the build side's rows), so the rendered IN fragment itself is never
+	// cached; only this capability verdict is.
+	InListOK bool
 }
 
 // queryPlan is a decomposed coalition function query. Plans are cached in
@@ -155,12 +163,31 @@ func buildFragmentExec(d *codb.SourceDescriptor, fn *codb.ExportedFunction, cond
 	return fragmentExec{
 		Native:      native,
 		OQL:         oql,
+		Frag:        frag,
 		Residual:    residual,
 		ResidualIdx: idx,
 		NCols:       len(cols),
 		Pushed:      len(pushed),
 		LimitPushed: frag.Limit > 0,
 	}
+}
+
+// withInKeys re-renders an execution with a semi-join key restriction. The
+// fragment copy shares the cached plan's condition slices (read-only) and
+// only adds the IN conjunct, so cached plans stay immutable while key sets
+// vary per statement.
+func (ex *fragmentExec) withInKeys(column string, keys []wtl.KeyLiteral) *fragmentExec {
+	out := *ex
+	frag := ex.Frag
+	frag.In = &wtl.InClause{Column: column, Keys: keys}
+	out.Frag = frag
+	if ex.OQL {
+		out.Native = frag.OQL()
+	} else {
+		out.Native = frag.SQL()
+	}
+	out.InPushed = true
+	return &out
 }
 
 // buildMemberPlan plans one member. With pushdown off the capability profile
@@ -174,7 +201,7 @@ func buildMemberPlan(d *codb.SourceDescriptor, fn *codb.ExportedFunction, q *wtl
 	if pushdown {
 		caps = gateway.CapsFor(d.Engine)
 	}
-	mp := memberPlan{D: d, Fn: fn}
+	mp := memberPlan{D: d, Fn: fn, InListOK: caps.InList}
 	mp.Exec = buildFragmentExec(d, fn, conds, q.Limit, caps)
 	if mp.Exec.Pushed == 0 && !mp.Exec.LimitPushed {
 		mp.Bare = mp.Exec

@@ -154,6 +154,21 @@ type Config struct {
 	// (the differential tests in internal/simtest run the same workload both
 	// ways); streaming only changes how many rows are in flight at once.
 	DisableStreaming bool
+	// DisableSemiJoin turns semi-join key pushdown off: join statements still
+	// execute (the coordinator always applies the exact key filter), but no
+	// key set is shipped to probe members and no Bloom filter is built. Both
+	// modes return identical answers (the differential tests in
+	// internal/simtest run the same workload both ways); the pushdown only
+	// changes how many probe-side rows cross the wire.
+	DisableSemiJoin bool
+	// SemiJoinKeyLimit is the largest build-side key set pushed to probe
+	// members as a literal IN list; above it the coordinator compresses the
+	// set into a Bloom prefilter instead. 0 selects the default (64).
+	SemiJoinKeyLimit int
+	// SemiJoinBloomBits sizes the Bloom prefilter, in bits per build-side
+	// key (~1% false positives at 10; false positives cost only wasted row
+	// transfer, never wrong answers). 0 selects the default (10).
+	SemiJoinBloomBits int
 }
 
 // PlannerStats counts federated-planner and streaming-merge activity.
@@ -170,6 +185,11 @@ type PlannerStats struct {
 	RowsMoved            int64 // rows fetched from members, pre-compensation
 	RowsDelivered        int64 // rows returned to callers after merge/limit
 	PeakMergeBuffered    int64 // most rows ever held in merge channels at once
+	SemiJoins            int64 // coalition statements carrying a SemiJoin clause
+	KeysPushed           int64 // build-side keys shipped to probe members in IN lists
+	BloomPushed          int64 // semi-joins whose key set compressed to a Bloom filter
+	ProbeRowsPruned      int64 // probe rows discarded by the coordinator key filter
+	SemiJoinFallbacks    int64 // bare-fragment retries of rejected IN pushes
 }
 
 // plannerCounters is the processor's live (atomic) form of PlannerStats.
@@ -179,6 +199,8 @@ type plannerCounters struct {
 	limitPushed, earlyTerminations        atomic.Int64
 	fallbacks, rowsMoved, rowsDelivered   atomic.Int64
 	peakMergeBuffered                     atomic.Int64
+	semiJoins, keysPushed, bloomPushed    atomic.Int64
+	probeRowsPruned, semiJoinFallbacks    atomic.Int64
 }
 
 // raisePeak lifts the peak-merge-buffered gauge to v if it is higher than the
@@ -208,6 +230,11 @@ type Processor struct {
 	pushdownOff atomic.Bool
 	streamOff   atomic.Bool
 	mergeBuf    atomic.Int32
+	// Semi-join pushdown mode and thresholds (SetSemiJoin; the differential
+	// tests flip the mode on live processors like the other axes).
+	semijoinOff atomic.Bool
+	sjKeyLimit  atomic.Int32
+	sjBloomBits atomic.Int32
 
 	stats plannerCounters
 
@@ -236,6 +263,9 @@ func New(cfg Config) (*Processor, error) {
 	p.pushdownOff.Store(cfg.DisablePushdown)
 	p.streamOff.Store(cfg.DisableStreaming)
 	p.mergeBuf.Store(int32(cfg.MergeBufRows))
+	p.semijoinOff.Store(cfg.DisableSemiJoin)
+	p.sjKeyLimit.Store(int32(cfg.SemiJoinKeyLimit))
+	p.sjBloomBits.Store(int32(cfg.SemiJoinBloomBits))
 	return p, nil
 }
 
@@ -252,6 +282,30 @@ func (p *Processor) streamingOn() bool { return !p.streamOff.Load() }
 // in-flight statements keep the mode they planned under.
 func (p *Processor) SetPushdown(on bool) { p.pushdownOff.Store(!on) }
 
+// SetSemiJoin flips semi-join key pushdown at runtime (see
+// Config.DisableSemiJoin). Safe to call concurrently with running sessions;
+// in-flight statements keep the mode they started under.
+func (p *Processor) SetSemiJoin(on bool) { p.semijoinOff.Store(!on) }
+
+// semiJoinOn reports the current semi-join pushdown mode.
+func (p *Processor) semiJoinOn() bool { return !p.semijoinOff.Load() }
+
+// semiJoinKeyLimit returns the exact-push/Bloom crossover key count.
+func (p *Processor) semiJoinKeyLimit() int {
+	if n := p.sjKeyLimit.Load(); n > 0 {
+		return int(n)
+	}
+	return 64
+}
+
+// semiJoinBloomBits returns the Bloom prefilter size in bits per key.
+func (p *Processor) semiJoinBloomBits() int {
+	if n := p.sjBloomBits.Load(); n > 0 {
+		return int(n)
+	}
+	return 10
+}
+
 // PlannerStats snapshots the planner and streaming-merge counters.
 func (p *Processor) PlannerStats() PlannerStats {
 	return PlannerStats{
@@ -265,6 +319,11 @@ func (p *Processor) PlannerStats() PlannerStats {
 		RowsMoved:            p.stats.rowsMoved.Load(),
 		RowsDelivered:        p.stats.rowsDelivered.Load(),
 		PeakMergeBuffered:    p.stats.peakMergeBuffered.Load(),
+		SemiJoins:            p.stats.semiJoins.Load(),
+		KeysPushed:           p.stats.keysPushed.Load(),
+		BloomPushed:          p.stats.bloomPushed.Load(),
+		ProbeRowsPruned:      p.stats.probeRowsPruned.Load(),
+		SemiJoinFallbacks:    p.stats.semiJoinFallbacks.Load(),
 	}
 }
 
@@ -1053,6 +1112,10 @@ func (p *Processor) openSource(s *Session, d *codb.SourceDescriptor) (gateway.Co
 func (s *Session) execFuncQuery(ctx context.Context, q *wtl.FuncQuery) (*Response, error) {
 	if q.OnCoalition {
 		return s.execCoalitionFuncQuery(ctx, q)
+	}
+	if q.Join != nil {
+		// The parser enforces this; the guard covers programmatic statements.
+		return nil, fmt.Errorf("query: SemiJoin requires the outer query to target a coalition")
 	}
 	d, err := s.lookupSource(ctx, q.Source)
 	if err != nil {

@@ -36,6 +36,11 @@ type Rows struct {
 	ms   *mergeStream
 	plan *queryPlan
 
+	// Semi-join build side (already drained when the Rows is handed out).
+	buildStatuses []MemberStatus
+	buildMoved    int64
+	buildDegraded int
+
 	// Materialized backing (every other statement kind).
 	resp *Response
 	pos  int
@@ -86,7 +91,22 @@ func (s *Session) Stream(ctx context.Context, src string) (*Rows, error) {
 
 // streamCoalition plans a coalition function query and opens its merge
 // stream. The caller owns the returned Rows (drain it or Close it).
+// Statements with a SemiJoin clause route through the two-sided planner.
 func (s *Session) streamCoalition(ctx context.Context, q *wtl.FuncQuery) (*Rows, error) {
+	if q.Join != nil {
+		return s.streamSemiJoin(ctx, q)
+	}
+	plan, err := s.resolveCoalitionPlan(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{sess: s, stmt: q, plan: plan, ms: s.newMergeStream(ctx, plan)}, nil
+}
+
+// resolveCoalitionPlan builds (or replays) one coalition plan and counts the
+// planner stats its decomposition contributes. Semi-join statements resolve
+// two of these — one per side.
+func (s *Session) resolveCoalitionPlan(ctx context.Context, q *wtl.FuncQuery) (*queryPlan, error) {
 	entry, err := s.p.coalitionEntry(ctx, s, q.Source)
 	if err != nil {
 		return nil, err
@@ -108,7 +128,7 @@ func (s *Session) streamCoalition(ctx context.Context, q *wtl.FuncQuery) (*Rows,
 			s.p.stats.limitPushed.Add(1)
 		}
 	}
-	return &Rows{sess: s, stmt: q, plan: plan, ms: s.newMergeStream(ctx, plan)}, nil
+	return plan, nil
 }
 
 // Columns names the result columns. For the streaming path the merge learns
@@ -187,10 +207,16 @@ func (r *Rows) Scan(dest ...any) error {
 // rows are still flowing.
 func (r *Rows) Err() error { return r.err }
 
-// Members reports the per-member outcome of the fan-out behind the rows.
+// Members reports the per-member outcome of the fan-out behind the rows —
+// for a semi-join, the probe side's statuses followed by the build side's.
 // Stable once the iteration has ended (Next returned false, or Close).
 func (r *Rows) Members() []MemberStatus {
 	if r.ms != nil {
+		if len(r.buildStatuses) > 0 {
+			out := make([]MemberStatus, 0, len(r.ms.statuses)+len(r.buildStatuses))
+			out = append(out, r.ms.statuses...)
+			return append(out, r.buildStatuses...)
+		}
 		return r.ms.statuses
 	}
 	if r.resp != nil {
@@ -204,7 +230,7 @@ func (r *Rows) Members() []MemberStatus {
 func (r *Rows) Partial() bool {
 	if r.ms != nil {
 		_, degraded, _ := r.tally()
-		return degraded > 0
+		return degraded > 0 || r.buildDegraded > 0
 	}
 	return r.resp != nil && r.resp.Partial
 }
@@ -275,6 +301,8 @@ func (r *Rows) finishStream(evaluate bool) {
 	s := r.sess
 	s.p.stats.rowsMoved.Add(ms.rowsMoved.Load())
 	s.p.stats.fallbacks.Add(ms.fallbacks.Load())
+	s.p.stats.probeRowsPruned.Add(ms.probePruned.Load())
+	s.p.stats.semiJoinFallbacks.Add(ms.sjFallbacks.Load())
 	s.p.stats.rowsDelivered.Add(r.delivered)
 	s.p.stats.raisePeak(ms.peakInflight.Load())
 	if ms.stop >= 0 {
@@ -344,6 +372,8 @@ func (r *Rows) drainResponse(ctx context.Context) (*Response, error) {
 
 	s.p.stats.rowsMoved.Add(ms.rowsMoved.Load())
 	s.p.stats.fallbacks.Add(ms.fallbacks.Load())
+	s.p.stats.probeRowsPruned.Add(ms.probePruned.Load())
+	s.p.stats.semiJoinFallbacks.Add(ms.sjFallbacks.Load())
 	s.p.stats.raisePeak(ms.peakInflight.Load())
 	if ms.stop >= 0 {
 		s.p.stats.earlyTerminations.Add(1)
@@ -365,18 +395,24 @@ func (r *Rows) drainResponse(ctx context.Context) (*Response, error) {
 	for i := range r.plan.Members {
 		translations[i] = r.plan.Members[i].D.Name + ": " + r.plan.Members[i].Exec.Native
 	}
-	partial := degraded > 0
+	partial := degraded > 0 || r.buildDegraded > 0
 	text := merged.Format()
 	if partial {
 		text += fmt.Sprintf("(partial result: %d of %d member(s) answered)\n", answered, len(r.plan.Members))
+	}
+	members := ms.statuses
+	if len(r.buildStatuses) > 0 {
+		members = make([]MemberStatus, 0, len(ms.statuses)+len(r.buildStatuses))
+		members = append(members, ms.statuses...)
+		members = append(members, r.buildStatuses...)
 	}
 	return &Response{
 		Stmt:       q,
 		Result:     merged,
 		Translated: strings.Join(translations, "\n"),
 		Text:       text,
-		Members:    ms.statuses,
+		Members:    members,
 		Partial:    partial,
-		RowsMoved:  int(ms.rowsMoved.Load()),
+		RowsMoved:  int(ms.rowsMoved.Load() + r.buildMoved),
 	}, nil
 }

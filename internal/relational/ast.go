@@ -177,6 +177,29 @@ func hasAggregate(e Expr) bool {
 	return false
 }
 
+// hasInList reports whether an expression tree contains a literal IN list.
+func hasInList(e Expr) bool {
+	switch x := e.(type) {
+	case *InList:
+		return true
+	case *Binary:
+		return hasInList(x.L) || hasInList(x.R)
+	case *Unary:
+		return hasInList(x.X)
+	case *IsNull:
+		return hasInList(x.X)
+	case *FuncCall:
+		for _, a := range x.Args {
+			if hasInList(a) {
+				return true
+			}
+		}
+	case *Between:
+		return hasInList(x.X) || hasInList(x.Lo) || hasInList(x.Hi)
+	}
+	return false
+}
+
 // hasLike reports whether an expression tree contains a LIKE comparison.
 func hasLike(e Expr) bool {
 	switch x := e.(type) {

@@ -18,6 +18,7 @@ type Dialect struct {
 	Subqueries   bool // IN (SELECT ...) and EXISTS (SELECT ...)
 	Union        bool // UNION / UNION ALL
 	Like         bool // standard LIKE patterns (mSQL 2.x shipped RLIKE/CLIKE instead)
+	InList       bool // literal IN lists (`x IN (1, 2)`; mSQL wanted OR chains)
 	MaxVarchar   int  // upper bound for declared VARCHAR sizes (0 = unlimited)
 }
 
@@ -29,19 +30,23 @@ type Dialect struct {
 var (
 	DialectOracle = Dialect{
 		Name: "Oracle", Joins: true, Aggregates: true, Transactions: true,
-		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, Like: true, MaxVarchar: 4000,
+		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, Like: true,
+		InList: true, MaxVarchar: 4000,
 	}
 	DialectMSQL = Dialect{
 		Name: "mSQL", Joins: true, Aggregates: false, Transactions: false,
-		OrderLimit: true, Distinct: true, Subqueries: false, Union: false, Like: false, MaxVarchar: 255,
+		OrderLimit: true, Distinct: true, Subqueries: false, Union: false, Like: false,
+		InList: false, MaxVarchar: 255,
 	}
 	DialectDB2 = Dialect{
 		Name: "DB2", Joins: true, Aggregates: true, Transactions: true,
-		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, Like: true, MaxVarchar: 4000,
+		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, Like: true,
+		InList: true, MaxVarchar: 4000,
 	}
 	DialectSybase = Dialect{
 		Name: "Sybase", Joins: true, Aggregates: true, Transactions: true,
-		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, Like: true, MaxVarchar: 255,
+		OrderLimit: true, Distinct: true, Subqueries: true, Union: true, Like: true,
+		InList: true, MaxVarchar: 255,
 	}
 )
 
@@ -115,6 +120,17 @@ func (d Dialect) Check(stmt Statement) error {
 			for _, e := range exprs {
 				if e != nil && hasLike(e) {
 					return unsupported("LIKE")
+				}
+			}
+		}
+		if !d.InList {
+			exprs := []Expr{s.Where, s.Having}
+			for _, it := range s.Items {
+				exprs = append(exprs, it.Expr)
+			}
+			for _, e := range exprs {
+				if e != nil && hasInList(e) {
+					return unsupported("IN lists")
 				}
 			}
 		}

@@ -72,6 +72,17 @@ type Config struct {
 	// (0 = default 64). Small values force multi-fetch cursor traffic even on
 	// small fixtures.
 	MergeBufRows int
+	// DisableSemiJoin builds every node with semi-join key pushdown off:
+	// join statements run with the exact coordinator filter only. The
+	// semi-join differential suite builds one federation per mode from the
+	// same seed and requires identical answers.
+	DisableSemiJoin bool
+	// SemiJoinKeyLimit overrides the exact-IN/Bloom crossover (0 = default
+	// 64). Setting it to 1 forces the Bloom path on any multi-key build side.
+	SemiJoinKeyLimit int
+	// SemiJoinBloomBits overrides the Bloom prefilter size in bits per key
+	// (0 = default 10).
+	SemiJoinBloomBits int
 }
 
 // Node is one federation participant: its simulated host, ORB and core node.
@@ -150,13 +161,21 @@ func Build(cfg Config) (*Fed, error) {
 				Functions: []codb.ExportedFunction{{
 					Name: "V", Returns: "int",
 					Table: "r", ResultColumn: "v", ArgColumn: "k",
+				}, {
+					// K is V's inverse (string keys out, int values in) so
+					// semi-join workloads can correlate string-typed columns.
+					Name: "K", Returns: "string",
+					Table: "r", ResultColumn: "k", ArgColumn: "v",
 				}},
 			}},
-			Clock:            fed.Clock.Now,
-			MDCacheTTL:       cfg.MDCacheTTL,
-			DisablePushdown:  cfg.DisablePushdown,
-			DisableStreaming: cfg.DisableStreaming,
-			MergeBufRows:     cfg.MergeBufRows,
+			Clock:             fed.Clock.Now,
+			MDCacheTTL:        cfg.MDCacheTTL,
+			DisablePushdown:   cfg.DisablePushdown,
+			DisableStreaming:  cfg.DisableStreaming,
+			MergeBufRows:      cfg.MergeBufRows,
+			DisableSemiJoin:   cfg.DisableSemiJoin,
+			SemiJoinKeyLimit:  cfg.SemiJoinKeyLimit,
+			SemiJoinBloomBits: cfg.SemiJoinBloomBits,
 		}
 		if cfg.Hetero {
 			nc.Engine = heteroEngines[i%len(heteroEngines)]

@@ -151,6 +151,36 @@ func (c Condition) String() string {
 	return fmt.Sprintf("%s %s %s", c.Column, c.Op, v)
 }
 
+// SemiJoin is the join clause of a coalition function query: a second
+// coalition function query whose result values restrict the outer side.
+// `A(R.K) On Coalition X SemiJoin B(R.K2, (...)) On Coalition Y;` answers
+// with the outer rows whose result value also appears among B's results —
+// the cross-member correlation the paper's coalitions exist for, planned as
+// a semi-join so only keys (never whole rows) cross the coordinator twice.
+// The joined side never carries its own Limit: it is a filter, not an
+// answer.
+type SemiJoin struct {
+	Function string
+	ArgCol   string
+	Preds    []Condition
+	Source   string // coalition name; join sides are always coalition-wide
+}
+
+// String renders the clause without the statement terminator, matching the
+// outer FuncQuery's print shape so the whole statement stays a parse fixed
+// point.
+func (j *SemiJoin) String() string {
+	out := fmt.Sprintf("%s(%s)", j.Function, j.ArgCol)
+	if len(j.Preds) > 0 {
+		preds := make([]string, len(j.Preds))
+		for i, p := range j.Preds {
+			preds[i] = p.String()
+		}
+		out = fmt.Sprintf("%s(%s, (%s))", j.Function, j.ArgCol, strings.Join(preds, " AND "))
+	}
+	return out + " On Coalition " + j.Source
+}
+
 // FuncQuery is the paper's typed data access: an exported-function
 // invocation with a predicate, e.g.
 //
@@ -166,6 +196,10 @@ type FuncQuery struct {
 	Preds       []Condition
 	Source      string // optional
 	OnCoalition bool   // Source names a coalition to fan out over
+	// Join, when set, restricts the answer to rows whose result value also
+	// appears in the joined query's results (`... SemiJoin F(C) On
+	// Coalition Y ...`). Only valid on coalition queries.
+	Join *SemiJoin
 	// Limit caps the merged result at N rows (`... Limit N;`). 0 means no
 	// limit. On a coalition query the planner pushes the limit into member
 	// fragments where the dialect accepts it and terminates the fan-out
@@ -189,6 +223,9 @@ func (s *FuncQuery) String() string {
 		} else {
 			out += " On " + s.Source
 		}
+	}
+	if s.Join != nil {
+		out += " SemiJoin " + s.Join.String()
 	}
 	if s.Limit > 0 {
 		out += fmt.Sprintf(" Limit %d", s.Limit)

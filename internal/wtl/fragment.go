@@ -22,7 +22,47 @@ type Fragment struct {
 	Table   string
 	Columns []string    // projection, in fetch order; never empty
 	Conds   []Condition // pushed conjuncts, bare column names
+	In      *InClause   // optional semi-join key restriction, one more conjunct
 	Limit   int         // 0 means no limit clause
+}
+
+// KeyLiteral is one member of an IN list: the literal's text plus whether it
+// renders quoted. The planner canonicalises build-side values into these.
+type KeyLiteral struct {
+	Text  string
+	IsStr bool
+}
+
+// InClause is the semi-join key restriction the planner attaches to a probe
+// fragment when the build side's key set is small enough to push: the probe
+// column IN the build side's distinct result values. It renders as one more
+// AND conjunct; an empty key list is a planner bug and renders invalid SQL
+// on purpose rather than silently matching everything.
+type InClause struct {
+	Column string
+	Keys   []KeyLiteral
+}
+
+func (in *InClause) render(b *strings.Builder, prefix string, first bool) {
+	if first {
+		b.WriteString(" WHERE ")
+	} else {
+		b.WriteString(" AND ")
+	}
+	b.WriteString(prefix)
+	b.WriteString(in.Column)
+	b.WriteString(" IN (")
+	for i, k := range in.Keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if k.IsStr {
+			b.WriteString("'" + strings.ReplaceAll(k.Text, "'", "''") + "'")
+		} else {
+			b.WriteString(k.Text)
+		}
+	}
+	b.WriteString(")")
 }
 
 // SQL renders the fragment in the relational family's shape, matching the
@@ -47,6 +87,9 @@ func (f *Fragment) SQL() string {
 			b.WriteString(" AND ")
 		}
 		fmt.Fprintf(&b, "a.%s %s %s", p.Column, p.Op, SQLLiteral(p))
+	}
+	if f.In != nil {
+		f.In.render(&b, "a.", len(f.Conds) == 0)
 	}
 	if f.Limit > 0 {
 		fmt.Fprintf(&b, " LIMIT %d", f.Limit)
@@ -77,6 +120,9 @@ func (f *Fragment) OQL() string {
 			b.WriteString(" AND ")
 		}
 		fmt.Fprintf(&b, "%s %s %s", p.Column, p.Op, SQLLiteral(p))
+	}
+	if f.In != nil {
+		f.In.render(&b, "", len(f.Conds) == 0)
 	}
 	if f.Limit > 0 {
 		fmt.Fprintf(&b, " LIMIT %d", f.Limit)

@@ -29,6 +29,17 @@ func FuzzWTLParse(f *testing.F) {
 		"Leave Coalition Medical;",
 		`V(R.K, (R.K = "a")) On Coalition Records;`,
 		`History(P.Name, (P.Name = "Smith")) On Database RBH;`,
+		// Semi-join clauses: plain, predicated, cross-coalition, limited.
+		`V(R.K) On Coalition A SemiJoin W(R.V) On Coalition B;`,
+		`V(R.K) On Coalition A SemiJoin W(R.V, (R.V >= 2)) On Coalition B Limit 3;`,
+		`V(R.K, (R.K LIKE "k%")) On Coalition c0 SemiJoin K(R.V, (R.V = 7)) On Coalition c1;`,
+		// A source whose name contains the word SemiJoin stays a name.
+		`V(R.K) On SemiJoin Services;`,
+		// Malformed join shapes the parser must reject gracefully.
+		`V(R.K) SemiJoin W(R.V) On Coalition B;`,
+		`V(R.K) On Coalition A SemiJoin W(R.V) On B;`,
+		`V(R.K) On Coalition A SemiJoin W(R.V) On Coalition B SemiJoin X(R.K) On Coalition C;`,
+		`V(R.K) On Coalition A SemiJoin W(;`,
 		// Malformed shapes the parser must reject gracefully.
 		"Find Coalitions Information x;",
 		"Find Coalitions With Information ;",

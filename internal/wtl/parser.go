@@ -551,6 +551,17 @@ func (p *parser) parseFuncQuery() (Stmt, error) {
 		}
 		q.Source = src
 	}
+	if p.semiJoinAhead() {
+		if !q.OnCoalition {
+			return nil, fmt.Errorf("wtl: SemiJoin requires the outer query to target a coalition (On Coalition <name>)")
+		}
+		p.next() // SemiJoin
+		join, err := p.parseSemiJoin()
+		if err != nil {
+			return nil, err
+		}
+		q.Join = join
+	}
 	if p.limitAhead() {
 		p.next() // Limit
 		n, err := strconv.Atoi(p.next().text)
@@ -565,11 +576,66 @@ func (p *parser) parseFuncQuery() (Stmt, error) {
 	return q, nil
 }
 
+// parseSemiJoin parses the join clause body after the SemiJoin keyword:
+//
+//	Fn(Col[, (preds)]) On Coalition <name>
+//
+// Both join sides must be coalition queries — the operator exists to
+// correlate across members, so a single-source side has nothing to prune.
+// Nesting is rejected by the top-level parser: a second SemiJoin keyword
+// after the inner source is a trailing token.
+func (p *parser) parseSemiJoin() (*SemiJoin, error) {
+	fn := p.next()
+	if fn.kind != kWord || p.peek().text != "(" {
+		return nil, fmt.Errorf("wtl: expected function invocation after SemiJoin, got %q", fn.text)
+	}
+	p.next() // (
+	argCol, err := p.qualifiedColumn()
+	if err != nil {
+		return nil, err
+	}
+	j := &SemiJoin{Function: fn.text, ArgCol: argCol}
+	if p.accept(",") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			j.Preds = append(j.Preds, cond)
+			if !p.acceptWord("AND") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("On"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("Coalition"); err != nil {
+		return nil, fmt.Errorf("wtl: SemiJoin side must target a coalition: %v", err)
+	}
+	src, err := p.sourceName()
+	if err != nil {
+		return nil, err
+	}
+	j.Source = src
+	return j, nil
+}
+
 // sourceName reads the multi-word On-clause target: a quoted string, or
-// consecutive words up to the trailing Limit clause, ";" or EOF. Unlike the
-// generic name() helper it uses limitAhead rather than a bare stop word, so
-// a source whose name merely contains the word "Limit" keeps parsing as a
-// name and the printed form stays a parse fixed point.
+// consecutive words up to the trailing Limit clause, a SemiJoin clause, ";"
+// or EOF. Unlike the generic name() helper it uses lookahead shapes rather
+// than bare stop words, so a source whose name merely contains the word
+// "Limit" or "SemiJoin" keeps parsing as a name and the printed form stays
+// a parse fixed point.
 func (p *parser) sourceName() (string, error) {
 	if p.peek().kind == kString {
 		return p.next().text, nil
@@ -577,7 +643,7 @@ func (p *parser) sourceName() (string, error) {
 	var words []string
 	for {
 		t := p.peek()
-		if t.kind != kWord || p.limitAhead() {
+		if t.kind != kWord || p.limitAhead() || p.semiJoinAhead() {
 			break
 		}
 		words = append(words, p.next().text)
@@ -586,6 +652,23 @@ func (p *parser) sourceName() (string, error) {
 		return "", fmt.Errorf("wtl: expected source name, got %q", p.peek().text)
 	}
 	return strings.Join(words, " "), nil
+}
+
+// semiJoinAhead reports whether the tokens at the cursor spell a join
+// clause: the word "SemiJoin", then a function invocation (word + "(").
+// The three-token shape disambiguates a source named "SemiJoin Services"
+// from the operator while scanning multi-word source names.
+func (p *parser) semiJoinAhead() bool {
+	t := p.peek()
+	if t.kind != kWord || !strings.EqualFold(t.text, "SemiJoin") {
+		return false
+	}
+	fn := p.toks[p.pos+1]
+	if fn.kind != kWord {
+		return false
+	}
+	open := p.toks[p.pos+2]
+	return open.kind == kPunct && open.text == "("
 }
 
 // limitAhead reports whether the tokens at the cursor spell a Limit clause:

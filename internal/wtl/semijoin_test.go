@@ -1,0 +1,94 @@
+package wtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFuncQuerySemiJoin(t *testing.T) {
+	s := parseOK(t, `V(R.K) On Coalition A SemiJoin W(R.V, (R.V >= 2)) On Coalition B;`)
+	q := s.(*FuncQuery)
+	if q.Join == nil {
+		t.Fatalf("join missing: %#v", q)
+	}
+	if q.Join.Function != "W" || q.Join.ArgCol != "R.V" || q.Join.Source != "B" {
+		t.Fatalf("join side: %#v", q.Join)
+	}
+	if len(q.Join.Preds) != 1 || q.Join.Preds[0].Op != ">=" || q.Join.Preds[0].Value != "2" {
+		t.Fatalf("join preds: %#v", q.Join.Preds)
+	}
+
+	// Join followed by Limit: the limit belongs to the outer statement.
+	s = parseOK(t, `V(R.K) On Coalition A SemiJoin W(R.V) On Coalition B Limit 3;`)
+	q = s.(*FuncQuery)
+	if q.Limit != 3 || q.Join == nil || q.Join.Source != "B" {
+		t.Fatalf("join+limit: %#v join=%#v", q, q.Join)
+	}
+
+	// A source whose name contains the word SemiJoin keeps parsing as a
+	// name: only the operator's three-token shape (SemiJoin, word, "(")
+	// starts the clause.
+	s = parseOK(t, `V(R.K) On SemiJoin Services;`)
+	if q := s.(*FuncQuery); q.Join != nil || q.Source != "SemiJoin Services" {
+		t.Fatalf("semijoin-in-name: %#v", q)
+	}
+}
+
+func TestFuncQuerySemiJoinRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`V(R.K) On Coalition A SemiJoin W(R.V) On Coalition B;`,
+		`V(R.K) On Coalition A SemiJoin W(R.V, (R.V >= 2)) On Coalition B Limit 3;`,
+		`V(R.K, (R.K LIKE "k%")) On Coalition c0 SemiJoin K(R.V, (R.V = 7 AND R.K <> "a")) On Coalition c1;`,
+	} {
+		s1 := parseOK(t, src)
+		s2 := parseOK(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("round trip unstable:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestFuncQuerySemiJoinErrors(t *testing.T) {
+	for _, src := range []string{
+		// Outer side must be a coalition query.
+		`V(R.K) SemiJoin W(R.V) On Coalition B;`,
+		`V(R.K) On RBH SemiJoin W(R.V) On Coalition B;`,
+		// Inner side must be a coalition query.
+		`V(R.K) On Coalition A SemiJoin W(R.V) On B;`,
+		`V(R.K) On Coalition A SemiJoin W(R.V);`,
+		// No nesting.
+		`V(R.K) On Coalition A SemiJoin W(R.V) On Coalition B SemiJoin X(R.K) On Coalition C;`,
+		// Truncated clause bodies.
+		`V(R.K) On Coalition A SemiJoin W(;`,
+		`V(R.K) On Coalition A SemiJoin W(R.V, (R.V;`,
+	} {
+		if s, err := Parse(src); err == nil {
+			t.Errorf("no error for %q (got %#v)", src, s)
+		}
+	}
+}
+
+func TestFragmentInClause(t *testing.T) {
+	f := &Fragment{
+		Table:   "r",
+		Columns: []string{"v", "k"},
+		Conds:   []Condition{{Column: "k", Op: "LIKE", Value: "k%", IsStr: true}},
+		In:      &InClause{Column: "v", Keys: []KeyLiteral{{Text: "1"}, {Text: "o'k", IsStr: true}}},
+		Limit:   5,
+	}
+	wantSQL := `SELECT a.v, a.k FROM r a WHERE a.k LIKE 'k%' AND a.v IN (1, 'o''k') LIMIT 5`
+	if got := f.SQL(); got != wantSQL {
+		t.Errorf("SQL:\n got %s\nwant %s", got, wantSQL)
+	}
+	wantOQL := `SELECT v, k FROM r WHERE k LIKE 'k%' AND v IN (1, 'o''k') LIMIT 5`
+	if got := f.OQL(); got != wantOQL {
+		t.Errorf("OQL:\n got %s\nwant %s", got, wantOQL)
+	}
+
+	// With no ordinary conjuncts the IN clause opens the WHERE itself.
+	bare := &Fragment{Table: "r", Columns: []string{"v"},
+		In: &InClause{Column: "v", Keys: []KeyLiteral{{Text: "7"}}}}
+	if got := bare.SQL(); !strings.Contains(got, " WHERE a.v IN (7)") {
+		t.Errorf("bare IN: %s", got)
+	}
+}
