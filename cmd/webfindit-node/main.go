@@ -37,6 +37,10 @@
 //	  "semijoin_bloom_bits": 10,           // Bloom prefilter bits per build-side key (0 = default 10)
 //	  "cursor_max_open": 32,               // server-side cursor cap per servant (0 = default 32)
 //	  "cursor_idle_ms": 120000,            // idle cursor reap TTL (0 = default 2 minutes)
+//	  "disable_gossip": false,             // turn off the anti-entropy membership agent
+//	  "gossip_interval_ms": 1000,          // gossip round pacing (0 = default 1s)
+//	  "gossip_fanout": 3,                  // peers contacted per gossip round (0 = default 3)
+//	  "subcoalition_size": 32,             // coalition size before discovery routes via representatives (0 = default 32, -1 = flat only)
 //	  "fragment_threshold_bytes": 262144,  // GIOP fragmentation threshold (0 = default 256 KiB, -1 off)
 //	  "chaos": { "seed": 1, "rules": [...] }, // optional fault-injection plan
 //	  "interface": [ { "name": "T", "functions": [ ... ] } ]
@@ -49,6 +53,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -121,9 +126,22 @@ type nodeFile struct {
 	// replies fragment on the wire (0 = default 256 KiB, -1 disables
 	// fragmentation). Cursor counters are published at /debug/metrics under
 	// "cursors".
-	DisableStreaming       bool                `json:"disable_streaming"`
-	CursorMaxOpen          int                 `json:"cursor_max_open"`
-	CursorIdleMS           int                 `json:"cursor_idle_ms"`
+	DisableStreaming bool `json:"disable_streaming"`
+	CursorMaxOpen    int  `json:"cursor_max_open"`
+	CursorIdleMS     int  `json:"cursor_idle_ms"`
+	// Gossip membership and hierarchical-discovery knobs. DisableGossip
+	// turns the anti-entropy agent off (the node then answers gossip callers
+	// with BAD_OPERATION, like a pre-gossip peer); GossipIntervalMS paces
+	// rounds (0 = default 1000); GossipFanout is the peers contacted per
+	// round (0 = default 3); SubCoalitionSize is the coalition size above
+	// which stage-3 discovery routes through sub-coalition representatives
+	// (0 = default 32, -1 keeps flat fan-out for every size). Agent counters
+	// — rounds, deltas sent/applied, digest/delta bytes, convergence lag —
+	// are published at /debug/metrics under "gossip".
+	DisableGossip          bool                `json:"disable_gossip"`
+	GossipIntervalMS       int                 `json:"gossip_interval_ms"`
+	GossipFanout           int                 `json:"gossip_fanout"`
+	SubCoalitionSize       int                 `json:"subcoalition_size"`
 	FragmentThresholdBytes int                 `json:"fragment_threshold_bytes"`
 	Chaos                  *orb.FaultPlan      `json:"chaos"`
 	Interface              []codb.ExportedType `json:"interface"`
@@ -244,9 +262,20 @@ func main() {
 		SemiJoinBloomBits: cfg.SemiJoinBloomBits,
 		CursorMaxOpen:     cfg.CursorMaxOpen,
 		CursorIdleTTL:     time.Duration(cfg.CursorIdleMS) * time.Millisecond,
+		DisableGossip:     cfg.DisableGossip,
+		GossipInterval:    time.Duration(cfg.GossipIntervalMS) * time.Millisecond,
+		GossipFanout:      cfg.GossipFanout,
+		SubCoalitionSize:  cfg.SubCoalitionSize,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if node.Gossip != nil {
+		tracer.Publish("gossip", func() any { return node.Gossip.Stats() })
+		ctx, stopGossip := context.WithCancel(context.Background())
+		defer stopGossip()
+		go node.StartGossip(ctx)
+		log.Print("gossip agent active")
 	}
 	if node.MDCache != nil {
 		tracer.Publish("mdcache", func() any { return node.MDCache.Snapshot() })

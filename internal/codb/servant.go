@@ -38,6 +38,9 @@ module WebFINDIT {
         void advertise(in string coalition, in any descriptor);
         void add_link(in any link);
         void remove_member(in string coalition, in string source);
+        any gossip_pull(in string digest);
+        long long gossip_push(in string delta);
+        sequence<any> relay_probe(in string topic, in sequence<any> members);
     };
 };
 `)[0]
@@ -62,12 +65,30 @@ func MatchFromAny(a idl.Any) Match {
 	}
 }
 
-// ServantOptions tune the servant's instance-cursor table; the zero value
-// selects the cursor package defaults.
+// ServantOptions tune the servant's instance-cursor table and optional
+// scale-out hooks; the zero value selects the cursor package defaults and
+// leaves the gossip and relay operations unregistered (callers then get
+// BAD_OPERATION, the documented "peer predates the protocol" signal).
 type ServantOptions struct {
 	CursorMaxOpen int              // open-cursor cap for paged instance listings
 	CursorIdleTTL time.Duration    // idle reap threshold
 	Clock         func() time.Time // nil = time.Now (simulations inject one)
+
+	// Gossip serves the anti-entropy operations (gossip_pull/gossip_push)
+	// when non-nil — in practice the node's *gossip.Agent.
+	Gossip GossipExchanger
+	// Relay serves relay_probe when non-nil: a sub-coalition representative
+	// probes the given members on the coordinator's behalf and returns one
+	// result per member, in order.
+	Relay func(ctx context.Context, topic string, members []RelayTarget) []RelayResult
+}
+
+// GossipExchanger is the servant-side surface of the anti-entropy protocol,
+// implemented by gossip.Agent. Payloads are opaque to this package: the
+// gossip wire codec owns their layout.
+type GossipExchanger interface {
+	HandlePull(digest []byte) (delta, selfDigest []byte, err error)
+	HandlePush(delta []byte) (int, error)
 }
 
 // NewServant exposes a co-database through the ORB with default cursor
@@ -247,6 +268,45 @@ func NewServantWith(cd *CoDatabase, opts ServantOptions) (orb.Servant, *cursor.T
 		}
 		return idl.Any{Kind: idl.KindVoid}, nil
 	})
+	// The gossip and relay operations are declared in the IDL but registered
+	// only when the node runs the corresponding machinery, so a node with
+	// gossip disabled answers exactly like a pre-gossip peer: BAD_OPERATION.
+	if opts.Gossip != nil {
+		on("gossip_pull", func(args []idl.Any) (idl.Any, error) {
+			delta, digest, err := opts.Gossip.HandlePull([]byte(args[0].Str))
+			if err != nil {
+				return idl.Null(), userErr(err)
+			}
+			return idl.Struct(
+				idl.F("delta", idl.String(string(delta))),
+				idl.F("digest", idl.String(string(digest))),
+			), nil
+		})
+		on("gossip_push", func(args []idl.Any) (idl.Any, error) {
+			applied, err := opts.Gossip.HandlePush([]byte(args[0].Str))
+			if err != nil {
+				return idl.Null(), userErr(err)
+			}
+			return idl.Long(int64(applied)), nil
+		})
+	}
+	if opts.Relay != nil {
+		h.OnCtx("relay_probe", func(ctx context.Context, args []idl.Any) (idl.Any, error) {
+			_, sp := trace.StartSpan(ctx, "codb.relay_probe")
+			sp.SetAttr("owner", cd.Owner())
+			members := make([]RelayTarget, 0, len(args[1].Seq))
+			for _, m := range args[1].Seq {
+				members = append(members, RelayTargetFromAny(m))
+			}
+			results := opts.Relay(ctx, args[0].Str, members)
+			out := make([]idl.Any, len(results))
+			for i, r := range results {
+				out[i] = relayResultToAny(r)
+			}
+			sp.End(nil)
+			return idl.Seq(out...), nil
+		})
+	}
 	return h, cursors
 }
 

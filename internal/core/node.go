@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/codb"
 	"repro/internal/cursor"
 	"repro/internal/gateway"
+	"repro/internal/gossip"
 	"repro/internal/mdcache"
 	"repro/internal/oodb"
 	"repro/internal/orb"
@@ -110,6 +112,30 @@ type NodeConfig struct {
 	// before the reaper collects it; 0 keeps the default (2 minutes).
 	// Cursor tables share the node Clock when one is injected.
 	CursorIdleTTL time.Duration
+
+	// DisableGossip turns off the node's anti-entropy membership agent and
+	// leaves the gossip servant operations unregistered, so the node answers
+	// gossip callers exactly like a pre-gossip peer (BAD_OPERATION). The
+	// agent itself is passive until StartGossip runs (production) or a test
+	// drives Tick directly, so merely having it costs nothing.
+	DisableGossip bool
+	// GossipInterval paces the background gossip loop started by
+	// StartGossip; 0 keeps the default (1s).
+	GossipInterval time.Duration
+	// GossipFanout is how many peers each gossip round exchanges digests
+	// with; 0 keeps the default (3).
+	GossipFanout int
+	// GossipSeed seeds the agent's deterministic peer-ring shuffle; 0 keeps
+	// the default. Simulations derive one per node from the run seed.
+	GossipSeed int64
+	// GossipSuspectAfter is how many consecutive failed exchanges mark a
+	// peer dead for representative election; 0 keeps the default (2).
+	GossipSuspectAfter int
+	// SubCoalitionSize is the coalition size above which stage-3 discovery
+	// routes through sub-coalition representatives (see
+	// query.Config.SubCoalitionSize); 0 keeps the default (32), negative
+	// disables hierarchical routing.
+	SubCoalitionSize int
 }
 
 // Node is one running WebFINDIT participant.
@@ -123,6 +149,7 @@ type Node struct {
 	CoDBIOR    *orb.IOR
 	Processor  *query.Processor
 	MDCache    *mdcache.Cache // nil when NodeConfig.DisableMDCache is set
+	Gossip     *gossip.Agent  // nil when NodeConfig.DisableGossip is set
 
 	isiConn gateway.Conn
 	// Cursor tables behind the node's servants (ISI data cursors, co-database
@@ -196,6 +223,41 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.isiConn = conn
 
+	// The gossip agent is created before the servants so the co-database can
+	// serve gossip_pull/gossip_push from the first exchange. Its hooks read
+	// n.Descriptor and n.Processor through closures evaluated at call time —
+	// both are set below, before any traffic can reach the node.
+	if !cfg.DisableGossip {
+		n.Gossip = gossip.New(gossip.Config{
+			Self:  n.gossipSelf,
+			Seeds: n.gossipSeeds,
+			Exchange: func(ctx context.Context, ref string, digest []byte) ([]byte, []byte, error) {
+				objRef, err := cfg.ORB.ResolveString(ref)
+				if err != nil {
+					return nil, nil, err
+				}
+				return codb.NewClient(objRef).GossipPull(ctx, digest)
+			},
+			Push: func(ctx context.Context, ref string, delta []byte) error {
+				objRef, err := cfg.ORB.ResolveString(ref)
+				if err != nil {
+					return err
+				}
+				_, err = codb.NewClient(objRef).GossipPush(ctx, delta)
+				return err
+			},
+			OnApply: func(applied []gossip.Entry) {
+				if n.Processor != nil {
+					n.Processor.GossipApplied(applied)
+				}
+			},
+			Fanout:       cfg.GossipFanout,
+			Interval:     cfg.GossipInterval,
+			Seed:         cfg.GossipSeed,
+			SuspectAfter: cfg.GossipSuspectAfter,
+		})
+	}
+
 	// Activate the servants.
 	isiServant, isiCursors := gateway.NewISIServantWith(conn, gateway.ISIServantOptions{
 		CursorMaxOpen: cfg.CursorMaxOpen,
@@ -208,11 +270,25 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.ISIIOR = isiIOR
-	codbServant, codbCursors := codb.NewServantWith(n.CoDB, codb.ServantOptions{
+	codbOpts := codb.ServantOptions{
 		CursorMaxOpen: cfg.CursorMaxOpen,
 		CursorIdleTTL: cfg.CursorIdleTTL,
 		Clock:         cfg.Clock,
-	})
+		// relay_probe is served whenever the processor exists (hierarchical
+		// routing works without gossip; election just sees everyone alive).
+		// A call landing in the startup window before n.Processor is set gets
+		// an empty reply, which coordinators treat as a failed relay.
+		Relay: func(ctx context.Context, topic string, members []codb.RelayTarget) []codb.RelayResult {
+			if n.Processor == nil {
+				return nil
+			}
+			return n.Processor.RelayProbe(ctx, topic, members)
+		},
+	}
+	if n.Gossip != nil {
+		codbOpts.Gossip = n.Gossip
+	}
+	codbServant, codbCursors := codb.NewServantWith(n.CoDB, codbOpts)
 	n.codbCursors = codbCursors
 	codbIOR, err := cfg.ORB.Activate(codbKey(cfg.Name), codbServant)
 	if err != nil {
@@ -253,6 +329,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			Clock:      cfg.Clock,
 		})
 	}
+	var alive func(string) bool
+	if n.Gossip != nil {
+		alive = n.Gossip.Store().Alive
+	}
 	n.Processor, err = query.New(query.Config{
 		ORB:               cfg.ORB,
 		Home:              cfg.Name,
@@ -266,6 +346,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		DisableSemiJoin:   cfg.DisableSemiJoin,
 		SemiJoinKeyLimit:  cfg.SemiJoinKeyLimit,
 		SemiJoinBloomBits: cfg.SemiJoinBloomBits,
+		SubCoalitionSize:  cfg.SubCoalitionSize,
+		Alive:             alive,
 	})
 	if err != nil {
 		return nil, err
@@ -275,6 +357,52 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 
 // NewSession opens a WebTassili session on this node.
 func (n *Node) NewSession() *query.Session { return n.Processor.NewSession() }
+
+// gossipSelf snapshots the node's own gossip entry: name, current
+// co-database version, reference and coalition memberships. Read at the
+// start of every gossip round, so any local mutation (it bumps Version)
+// enters circulation within one round.
+func (n *Node) gossipSelf() gossip.Entry {
+	e := gossip.Entry{Node: n.Config.Name, Version: n.CoDB.Version()}
+	if n.Descriptor != nil {
+		e.CoDBRef = n.Descriptor.CoDBRef
+	}
+	e.Coalitions = n.CoDB.MemberOf()
+	return e
+}
+
+// gossipSeeds builds the agent's bootstrap knowledge from the local
+// co-database's member lists: every coalition peer the node can already name
+// becomes a version-0 entry (fills gaps, never displaces gossip). Re-read
+// every round, so members learned locally (a Join, an advertise) become
+// gossip peers immediately.
+func (n *Node) gossipSeeds() []gossip.Entry {
+	var out []gossip.Entry
+	seen := map[string]bool{}
+	for _, coalition := range n.CoDB.MemberOf() {
+		members, err := n.CoDB.Members(coalition)
+		if err != nil {
+			continue
+		}
+		for _, m := range members {
+			if m.Name == n.Config.Name || m.CoDBRef == "" || seen[m.Name] {
+				continue
+			}
+			seen[m.Name] = true
+			out = append(out, gossip.Entry{Node: m.Name, Version: 0, CoDBRef: m.CoDBRef})
+		}
+	}
+	return out
+}
+
+// StartGossip runs the node's anti-entropy loop until ctx ends. It blocks;
+// production nodes run it on a goroutine. A node without an agent returns
+// immediately.
+func (n *Node) StartGossip(ctx context.Context) {
+	if n.Gossip != nil {
+		n.Gossip.Start(ctx)
+	}
+}
 
 // Close deactivates the node's servants.
 func (n *Node) Close() error {

@@ -1,0 +1,193 @@
+package gossip
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The gossip wire codec. Digests and deltas cross the ORB as opaque byte
+// strings inside the co-database's gossip_pull/gossip_push operations, so
+// the layout is owned entirely by this package: a 4-byte magic, a uvarint
+// count, then length-prefixed fields. Every length is bounds-checked against
+// both a hard cap and the bytes actually remaining, so a truncated,
+// corrupted or adversarial payload produces an error — never a panic and
+// never an oversized allocation. FuzzGossipDelta holds the codec to that
+// contract.
+
+const (
+	digestMagic = "WGD1"
+	deltaMagic  = "WGE1"
+
+	// maxWireName, maxWireRef and maxWireCoalitions cap individual fields;
+	// maxWireCount caps the top-level entry count. All are far above any
+	// legitimate federation and exist only to bound decoder allocations.
+	maxWireName       = 1 << 12
+	maxWireRef        = 1 << 16
+	maxWireCoalitions = 1 << 12
+	maxWireCount      = 1 << 20
+)
+
+// EncodeDigest renders a digest deterministically (nodes sorted by name).
+func EncodeDigest(d Digest) []byte {
+	nodes := make([]string, 0, len(d))
+	for n := range d {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	buf := append([]byte{}, digestMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
+	for _, n := range nodes {
+		buf = appendString(buf, n)
+		buf = binary.AppendUvarint(buf, d[n])
+	}
+	return buf
+}
+
+// DecodeDigest parses a digest payload.
+func DecodeDigest(data []byte) (Digest, error) {
+	r, err := newReader(data, digestMagic)
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	d := make(Digest, count)
+	for i := 0; i < count; i++ {
+		name, err := r.str(maxWireName)
+		if err != nil {
+			return nil, err
+		}
+		ver, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Duplicate names keep the highest version: the merge direction that
+		// can never regress an applier.
+		if ver > d[name] {
+			d[name] = ver
+		}
+	}
+	return d, nil
+}
+
+// EncodeDelta renders a list of entries.
+func EncodeDelta(entries []Entry) []byte {
+	buf := append([]byte{}, deltaMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = appendString(buf, e.Node)
+		buf = binary.AppendUvarint(buf, e.Version)
+		buf = appendString(buf, e.CoDBRef)
+		buf = binary.AppendUvarint(buf, uint64(len(e.Coalitions)))
+		for _, c := range e.Coalitions {
+			buf = appendString(buf, c)
+		}
+	}
+	return buf
+}
+
+// DecodeDelta parses a delta payload. Duplicate nodes are kept in order;
+// Store.Apply's merge-by-version rule makes replays and duplicates harmless.
+func DecodeDelta(data []byte) ([]Entry, error) {
+	r, err := newReader(data, deltaMagic)
+	if err != nil {
+		return nil, err
+	}
+	count, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, count)
+	for i := 0; i < count; i++ {
+		var e Entry
+		if e.Node, err = r.str(maxWireName); err != nil {
+			return nil, err
+		}
+		if e.Version, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if e.CoDBRef, err = r.str(maxWireRef); err != nil {
+			return nil, err
+		}
+		nc, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nc > maxWireCoalitions || nc > uint64(r.remaining()) {
+			return nil, fmt.Errorf("gossip: delta entry %d claims %d coalitions with %d bytes left", i, nc, r.remaining())
+		}
+		if nc > 0 {
+			e.Coalitions = make([]string, 0, nc)
+			for j := uint64(0); j < nc; j++ {
+				c, err := r.str(maxWireName)
+				if err != nil {
+					return nil, err
+				}
+				e.Coalitions = append(e.Coalitions, c)
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// reader is a bounds-checked cursor over a wire payload.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func newReader(data []byte, magic string) (*reader, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("gossip: bad magic (want %s)", magic)
+	}
+	return &reader{data: data, pos: len(magic)}, nil
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.pos }
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("gossip: truncated or overlong uvarint at %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+// count reads the top-level entry count, rejecting claims that cannot fit in
+// the remaining bytes (each entry costs at least one byte).
+func (r *reader) count() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxWireCount || v > uint64(r.remaining()) {
+		return 0, fmt.Errorf("gossip: count %d exceeds payload (%d bytes left)", v, r.remaining())
+	}
+	return int(v), nil
+}
+
+func (r *reader) str(maxLen int) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(maxLen) {
+		return "", fmt.Errorf("gossip: string length %d exceeds cap %d", n, maxLen)
+	}
+	if n > uint64(r.remaining()) {
+		return "", fmt.Errorf("gossip: string length %d exceeds payload (%d bytes left)", n, r.remaining())
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}

@@ -109,6 +109,8 @@ type Stats struct {
 	Revalidations atomic.Int64 // expired entries refreshed by version match alone
 	Invalidations atomic.Int64 // entries dropped by Invalidate*
 	Evictions     atomic.Int64 // entries dropped by the LRU bound
+	Merges        atomic.Int64 // versioned entries installed by MergeVersioned
+	MergeRejects  atomic.Int64 // MergeVersioned writes refused (would regress)
 }
 
 // StatsSnapshot is a point-in-time JSON-friendly view of Stats.
@@ -122,6 +124,8 @@ type StatsSnapshot struct {
 	Revalidations int64 `json:"revalidations"`
 	Invalidations int64 `json:"invalidations"`
 	Evictions     int64 `json:"evictions"`
+	Merges        int64 `json:"merges"`
+	MergeRejects  int64 `json:"merge_rejects"`
 }
 
 type entry struct {
@@ -202,6 +206,8 @@ func (c *Cache) Snapshot() StatsSnapshot {
 		Revalidations: c.Stats.Revalidations.Load(),
 		Invalidations: c.Stats.Invalidations.Load(),
 		Evictions:     c.Stats.Evictions.Load(),
+		Merges:        c.Stats.Merges.Load(),
+		MergeRejects:  c.Stats.MergeRejects.Load(),
 	}
 }
 
@@ -382,6 +388,46 @@ func (c *Cache) install(e *entry) {
 
 // touch marks an entry most recently used. Caller holds c.mu.
 func (c *Cache) touch(e *entry) { c.lru.MoveToFront(e.elem) }
+
+// MergeVersioned installs a value under key only when ver is not older than
+// what the cache already holds for that key — the apply path gossip deltas
+// take, where the merge-by-version rule must hold at every layer: a replayed,
+// reordered or corrupted delta can never move a cached version backwards.
+// Unversioned entries under the same key are always displaced (a versioned
+// write outranks a TTL-only one). Reports whether the value was installed.
+func (c *Cache) MergeVersioned(key string, val any, ver uint64) bool {
+	if c == nil {
+		return false
+	}
+	now := c.opts.Clock()
+	c.mu.Lock()
+	if old := c.entries[key]; old != nil && old.err == nil && old.hasVer && ver < old.ver {
+		c.mu.Unlock()
+		c.Stats.MergeRejects.Add(1)
+		return false
+	}
+	c.install(&entry{key: key, val: val, ver: ver, hasVer: true, expires: now.Add(c.opts.TTL)})
+	c.mu.Unlock()
+	c.Stats.Merges.Add(1)
+	return true
+}
+
+// PeekVersioned returns the cached value and version stamp for key regardless
+// of expiry — the read side of MergeVersioned, used by invariant checkers
+// that compare cached versions against the authority without perturbing the
+// cache. Negative and unversioned entries report !ok.
+func (c *Cache) PeekVersioned(key string) (any, uint64, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil || e.err != nil || !e.hasVer {
+		return nil, 0, false
+	}
+	return e.val, e.ver, true
+}
 
 // Invalidate drops one entry.
 func (c *Cache) Invalidate(key string) {

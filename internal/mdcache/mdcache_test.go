@@ -479,3 +479,59 @@ func TestPeek(t *testing.T) {
 		t.Error("nil cache peek reported a hit")
 	}
 }
+
+func TestMergeVersioned(t *testing.T) {
+	clk := newManualClock()
+	c := New(Options{TTL: time.Second, Clock: clk.Now})
+
+	if !c.MergeVersioned("gossip|N1", "v5", 5) {
+		t.Fatal("initial merge refused")
+	}
+	if v, ver, ok := c.PeekVersioned("gossip|N1"); !ok || v != "v5" || ver != 5 {
+		t.Fatalf("PeekVersioned = %v/%d/%v, want v5/5/true", v, ver, ok)
+	}
+
+	// Older and equal-or-newer writes: only a regression is refused.
+	if c.MergeVersioned("gossip|N1", "v3", 3) {
+		t.Fatal("merge regressed the version")
+	}
+	if v, ver, _ := c.PeekVersioned("gossip|N1"); v != "v5" || ver != 5 {
+		t.Fatalf("rejected merge still mutated the entry: %v/%d", v, ver)
+	}
+	if !c.MergeVersioned("gossip|N1", "v5b", 5) {
+		t.Fatal("equal-version merge refused (must be idempotent-friendly)")
+	}
+	if !c.MergeVersioned("gossip|N1", "v7", 7) {
+		t.Fatal("newer merge refused")
+	}
+	if c.Stats.Merges.Load() != 3 || c.Stats.MergeRejects.Load() != 1 {
+		t.Fatalf("merges/rejects = %d/%d, want 3/1",
+			c.Stats.Merges.Load(), c.Stats.MergeRejects.Load())
+	}
+
+	// Expiry never hides the version stamp from PeekVersioned.
+	clk.Advance(time.Hour)
+	if _, ver, ok := c.PeekVersioned("gossip|N1"); !ok || ver != 7 {
+		t.Fatalf("expired PeekVersioned = %d/%v, want 7/true", ver, ok)
+	}
+
+	// A versioned merge displaces an unversioned TTL entry for the same key.
+	ctx := context.Background()
+	if _, _, err := c.Get(ctx, "plain", Request{Fetch: func(context.Context) (any, error) {
+		return "ttl-only", nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.MergeVersioned("plain", "versioned", 1) {
+		t.Fatal("merge over unversioned entry refused")
+	}
+
+	// Nil cache: merge is a no-op miss.
+	var nilCache *Cache
+	if nilCache.MergeVersioned("k", "v", 1) {
+		t.Fatal("nil cache accepted a merge")
+	}
+	if _, _, ok := nilCache.PeekVersioned("k"); ok {
+		t.Fatal("nil cache peeked a value")
+	}
+}

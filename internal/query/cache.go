@@ -190,26 +190,39 @@ type peerTarget struct {
 	Peer *codb.Client
 }
 
-// cachedPeerTargets assembles (or replays) the deduplicated probe-target list
-// for stage-3 discovery: every distinct peer co-database reachable through
-// the coalitions the local owner belongs to, in deterministic member order.
-// The list is itself a cache entry — derived purely from local metadata, it
-// shares the local co-database's version-verified freshness — so a repeat
-// discovery skips the member-of and per-coalition instance lookups entirely.
-func (p *Processor) cachedPeerTargets(ctx context.Context, local *codb.Client) ([]peerTarget, mdcache.Outcome, error) {
+// peerGroup is one coalition's contribution to the stage-3 probe-target list:
+// the peers that entered the list through it, in member order. Hierarchical
+// routing shards groups; flat routing ignores the grouping and walks the
+// concatenation, so both modes see the same targets in the same order.
+type peerGroup struct {
+	Coalition string
+	Members   []peerTarget
+}
+
+// cachedPeerGroups assembles (or replays) the deduplicated probe-target list
+// for stage-3 discovery, grouped by the coalition that contributed each peer:
+// every distinct peer co-database reachable through the coalitions the local
+// owner belongs to, in deterministic member order (a peer reachable through
+// several coalitions counts for the first one enumerated, exactly where the
+// pre-grouping flat list held it). The list is itself a cache entry — derived
+// purely from local metadata, it shares the local co-database's
+// version-verified freshness — so a repeat discovery skips the member-of and
+// per-coalition instance lookups entirely.
+func (p *Processor) cachedPeerGroups(ctx context.Context, local *codb.Client) ([]peerGroup, mdcache.Outcome, error) {
 	key := "peers|" + p.srcKey(local)
 	v, out, err := p.cacheGet(ctx, local, key, func(ctx context.Context) (any, error) {
 		memberOf, _, err := p.cachedMemberOf(ctx, local)
 		if err != nil {
 			return nil, err
 		}
-		var targets []peerTarget
+		var groups []peerGroup
 		seen := map[string]bool{}
 		for _, coalition := range memberOf {
 			members, _, err := p.cachedInstances(ctx, local, coalition)
 			if err != nil {
 				continue
 			}
+			var g []peerTarget
 			for _, m := range members {
 				if strings.EqualFold(m.Name, p.cfg.Home) || m.CoDBRef == "" || seen[m.CoDBRef] {
 					continue
@@ -219,15 +232,18 @@ func (p *Processor) cachedPeerTargets(ctx context.Context, local *codb.Client) (
 					continue
 				}
 				seen[m.CoDBRef] = true
-				targets = append(targets, peerTarget{Name: m.Name, Ref: m.CoDBRef, Peer: peer})
+				g = append(g, peerTarget{Name: m.Name, Ref: m.CoDBRef, Peer: peer})
+			}
+			if len(g) > 0 {
+				groups = append(groups, peerGroup{Coalition: coalition, Members: g})
 			}
 		}
-		return targets, nil
+		return groups, nil
 	})
 	if err != nil || v == nil {
 		return nil, out, err
 	}
-	return v.([]peerTarget), out, nil
+	return v.([]peerGroup), out, nil
 }
 
 // invalidateCache eagerly empties the metadata cache after a statement that

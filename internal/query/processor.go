@@ -169,6 +169,22 @@ type Config struct {
 	// key (~1% false positives at 10; false positives cost only wasted row
 	// transfer, never wrong answers). 0 selects the default (10).
 	SemiJoinBloomBits int
+	// SubCoalitionSize is the coalition membership size above which stage-3
+	// discovery routes through sub-coalition representatives instead of
+	// probing every member directly: coalitions larger than this shard into
+	// windows of at most this many members, and one relay_probe call per
+	// shard replaces the per-member fan-out. Coalitions at or below the
+	// threshold keep the flat fan-out (the paper's small-coalition model is
+	// untouched). 0 selects the default (32); negative disables hierarchical
+	// routing entirely. Both modes return identical answers — the
+	// differential tests in internal/simtest run the same workload both ways;
+	// routing only changes how many RPCs the coordinator itself issues.
+	SubCoalitionSize int
+	// Alive reports whether a peer node is believed reachable — the gossip
+	// layer's failure detector, consulted by representative election so a
+	// partitioned representative is skipped instead of timed out against.
+	// nil treats every peer as alive.
+	Alive func(node string) bool
 }
 
 // PlannerStats counts federated-planner and streaming-merge activity.
@@ -190,6 +206,10 @@ type PlannerStats struct {
 	BloomPushed          int64 // semi-joins whose key set compressed to a Bloom filter
 	ProbeRowsPruned      int64 // probe rows discarded by the coordinator key filter
 	SemiJoinFallbacks    int64 // bare-fragment retries of rejected IN pushes
+	RelayShards          int64 // sub-coalition shards routed through a representative
+	RelayedProbes        int64 // member probes answered via a representative relay
+	RelayFailovers       int64 // relay attempts abandoned for the next candidate
+	RelayDirectFallbacks int64 // shards probed directly after every relay candidate failed
 }
 
 // plannerCounters is the processor's live (atomic) form of PlannerStats.
@@ -201,6 +221,8 @@ type plannerCounters struct {
 	peakMergeBuffered                     atomic.Int64
 	semiJoins, keysPushed, bloomPushed    atomic.Int64
 	probeRowsPruned, semiJoinFallbacks    atomic.Int64
+	relayShards, relayedProbes            atomic.Int64
+	relayFailovers, relayDirectFallbacks  atomic.Int64
 }
 
 // raisePeak lifts the peak-merge-buffered gauge to v if it is higher than the
@@ -235,6 +257,10 @@ type Processor struct {
 	semijoinOff atomic.Bool
 	sjKeyLimit  atomic.Int32
 	sjBloomBits atomic.Int32
+	// Hierarchical-routing threshold (SetSubCoalitionSize; the differential
+	// tests flip it on live processors like the other axes). Stored with the
+	// Config encoding: 0 = default, negative = disabled.
+	subcoalN atomic.Int32
 
 	stats plannerCounters
 
@@ -266,7 +292,35 @@ func New(cfg Config) (*Processor, error) {
 	p.semijoinOff.Store(cfg.DisableSemiJoin)
 	p.sjKeyLimit.Store(int32(cfg.SemiJoinKeyLimit))
 	p.sjBloomBits.Store(int32(cfg.SemiJoinBloomBits))
+	p.subcoalN.Store(int32(cfg.SubCoalitionSize))
 	return p, nil
+}
+
+// SetSubCoalitionSize adjusts the hierarchical-routing threshold at runtime
+// (see Config.SubCoalitionSize). Safe to call concurrently with running
+// sessions; in-flight statements keep the mode they started under.
+func (p *Processor) SetSubCoalitionSize(n int) { p.subcoalN.Store(int32(n)) }
+
+// subCoalitionSize returns the effective shard size: 0 when hierarchical
+// routing is disabled.
+func (p *Processor) subCoalitionSize() int {
+	n := p.subcoalN.Load()
+	if n < 0 {
+		return 0
+	}
+	if n == 0 {
+		return 32
+	}
+	return int(n)
+}
+
+// alive consults the gossip failure detector; without one every peer is
+// presumed reachable.
+func (p *Processor) alive(node string) bool {
+	if p.cfg.Alive == nil {
+		return true
+	}
+	return p.cfg.Alive(node)
 }
 
 // SetStreaming flips the member-side cursor protocol at runtime (see
@@ -324,6 +378,10 @@ func (p *Processor) PlannerStats() PlannerStats {
 		BloomPushed:          p.stats.bloomPushed.Load(),
 		ProbeRowsPruned:      p.stats.probeRowsPruned.Load(),
 		SemiJoinFallbacks:    p.stats.semiJoinFallbacks.Load(),
+		RelayShards:          p.stats.relayShards.Load(),
+		RelayedProbes:        p.stats.relayedProbes.Load(),
+		RelayFailovers:       p.stats.relayFailovers.Load(),
+		RelayDirectFallbacks: p.stats.relayDirectFallbacks.Load(),
 	}
 }
 
@@ -651,16 +709,20 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 	// keeping lead ordering identical to the serial algorithm.
 	st3Ctx, st3 := trace.StartSpan(ctx, "query.stage:coalition-peers")
 	defer st3.End(nil)
-	targets, _, err := p.cachedPeerTargets(st3Ctx, local)
+	groups, _, err := p.cachedPeerGroups(st3Ctx, local)
 	if err != nil {
 		return nil, nil, err
 	}
-	type peerProbe struct {
-		name  string
-		ref   string
-		peer  *codb.Client
-		coals []codb.Match
-		links []codb.Match
+	// Flatten the groups into the flat target list (the order both routing
+	// modes share), remembering which group each target entered through so
+	// hierarchical routing can shard per coalition.
+	var targets []peerTarget
+	var groupOf []int
+	for gi, g := range groups {
+		for _, tgt := range g.Members {
+			targets = append(targets, tgt)
+			groupOf = append(groupOf, gi)
+		}
 	}
 	probes := make([]peerProbe, len(targets))
 	for i, tgt := range targets {
@@ -687,6 +749,13 @@ func (p *Processor) resolveTopic(ctx context.Context, s *Session, topic string) 
 	if cachedN := len(probes) - len(pending); cachedN > 0 {
 		s.traceMsg("communication", "peer probes answered by the metadata cache: "+
 			strconv.Itoa(cachedN)+" of "+strconv.Itoa(len(probes)))
+	}
+	// Hierarchical routing: shards of large coalitions are probed through an
+	// elected representative; whatever it cannot cover (small coalitions,
+	// shards whose every relay candidate failed) stays in pending and takes
+	// the flat fan-out below.
+	if size := p.subCoalitionSize(); size > 0 && len(pending) > 0 {
+		pending = p.relayRoute(st3Ctx, s, topic, size, groupOf, probes, statuses, pending)
 	}
 	fanOutCtx(st3Ctx, len(pending), p.fanOutWidth(), func(j int) {
 		pr := &probes[pending[j]]

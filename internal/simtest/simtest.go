@@ -83,6 +83,35 @@ type Config struct {
 	// SemiJoinBloomBits overrides the Bloom prefilter size in bits per key
 	// (0 = default 10).
 	SemiJoinBloomBits int
+	// CoalitionSize switches topology generation from the legacy coin-flip
+	// draw to windowed mode: coalitions become overlapping windows of this
+	// many members laid over a seeded permutation ring, so membership forms
+	// one connected chain of small coalitions and no node needs global
+	// knowledge at boot. Coalitions is ignored — the window count derives
+	// from Nodes. This is the shape the large-federation gossip scenarios
+	// use; 0 keeps the legacy draw byte-for-byte.
+	CoalitionSize int
+	// NoBaseCoalition drops the all-nodes backbone coalition, leaving only
+	// the generated ones. Large gossip federations set it: a coalition
+	// spanning all N nodes would seed every gossip store with the full
+	// membership at boot and make convergence (and the flat-baseline
+	// comparison) vacuous.
+	NoBaseCoalition bool
+	// DisableGossip builds every node without its anti-entropy agent, as
+	// core.NodeConfig.DisableGossip does.
+	DisableGossip bool
+	// GossipFanout is how many peers each node exchanges digests with per
+	// simulated gossip round (0 = agent default 3).
+	GossipFanout int
+	// GossipSuspectAfter is how many consecutive failed exchanges mark a
+	// peer dead in the failure detector (0 = default 2).
+	GossipSuspectAfter int
+	// SubCoalitionSize sets each node's hierarchical-discovery threshold:
+	// stage-3 coalition groups larger than this are probed through shard
+	// representatives instead of directly (0 = query default 32, negative
+	// disables relaying). The differential suite builds one federation per
+	// mode from the same seed and requires identical answers.
+	SubCoalitionSize int
 }
 
 // Node is one federation participant: its simulated host, ORB and core node.
@@ -176,6 +205,13 @@ func Build(cfg Config) (*Fed, error) {
 			DisableSemiJoin:   cfg.DisableSemiJoin,
 			SemiJoinKeyLimit:  cfg.SemiJoinKeyLimit,
 			SemiJoinBloomBits: cfg.SemiJoinBloomBits,
+			DisableGossip:     cfg.DisableGossip,
+			GossipFanout:      cfg.GossipFanout,
+			// Each agent shuffles its peer ring from its own stream, derived
+			// from the run seed so replaying a seed replays every walk.
+			GossipSeed:         cfg.Seed*1009 + int64(i) + 1,
+			GossipSuspectAfter: cfg.GossipSuspectAfter,
+			SubCoalitionSize:   cfg.SubCoalitionSize,
 		}
 		if cfg.Hetero {
 			nc.Engine = heteroEngines[i%len(heteroEngines)]
@@ -204,24 +240,14 @@ func Build(cfg Config) (*Fed, error) {
 		})
 	}
 
-	// Seeded topology: the base coalition spans everyone; each named
-	// coalition gets a random subset (at least two members, so Leave has
-	// somewhere to go).
-	fed.Members = map[string][]int{BaseCoalition: allIndexes(cfg.Nodes)}
-	for c := 0; c < cfg.Coalitions; c++ {
-		name := fmt.Sprintf("c%d", c)
-		var members []int
-		for i := 0; i < cfg.Nodes; i++ {
-			if fed.rng.Intn(2) == 0 {
-				members = append(members, i)
-			}
-		}
-		for len(members) < 2 {
-			i := fed.rng.Intn(cfg.Nodes)
-			if !containsInt(members, i) {
-				members = insertSorted(members, i)
-			}
-		}
+	// Seeded topology: the base coalition spans everyone (unless dropped);
+	// the named coalitions come from the parameterized generator, which the
+	// 300-node builder shares with the legacy 6-node path.
+	fed.Members = map[string][]int{}
+	if !cfg.NoBaseCoalition {
+		fed.Members[BaseCoalition] = allIndexes(cfg.Nodes)
+	}
+	for name, members := range genTopology(fed.rng, cfg.Nodes, cfg.Coalitions, cfg.CoalitionSize) {
 		fed.Members[name] = members
 	}
 	for name, members := range fed.Members {
